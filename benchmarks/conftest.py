@@ -1,0 +1,52 @@
+"""Benchmark fixtures: one loaded platform per evaluation environment.
+
+``ec2`` mirrors the paper's 1+8 m1.large cluster at scale factor 10 and
+``lc`` the 5-node lab cluster at scale factor 500 (§7.1), using the
+miniature TPC-H generator plus the cost model's time dilation.  Algorithm
+configurations follow §7.1: ISL batches of 1% (EC2) / 0.2% (LC) of the
+relation, BFHM with 100 buckets.
+
+All index builds happen once per session; each benchmark measures query
+executions only, mirroring the paper's split between Fig. 9 (indexing) and
+Figs. 7–8 (querying).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentSetup, build_setup
+from repro.cluster.costmodel import EC2_PROFILE, LC_PROFILE
+from repro.tpch.queries import q1, q2
+
+#: k sweep of Figs. 7 and 8
+KS = [1, 10, 20, 50, 100]
+BENCH_SEED = 42
+
+EC2_MICRO_SCALE = 0.5
+LC_MICRO_SCALE = 2.0
+
+
+def _prepare(setup: ExperimentSetup, algorithms: "list[str]") -> ExperimentSetup:
+    for name in algorithms:
+        setup.engine.algorithm(name).prepare(q1(1))
+        setup.engine.algorithm(name).prepare(q2(1))
+    return setup
+
+
+@pytest.fixture(scope="session")
+def ec2_setup() -> ExperimentSetup:
+    setup = build_setup(EC2_PROFILE, micro_scale=EC2_MICRO_SCALE, seed=BENCH_SEED)
+    return _prepare(setup, ["ijlmr", "isl", "bfhm"])
+
+
+@pytest.fixture(scope="session")
+def lc_setup() -> ExperimentSetup:
+    setup = build_setup(
+        LC_PROFILE,
+        micro_scale=LC_MICRO_SCALE,
+        seed=BENCH_SEED,
+        isl={"batch_fraction": 0.002},
+        bfhm={"num_buckets": 100},
+    )
+    return _prepare(setup, ["isl", "bfhm", "drjn"])

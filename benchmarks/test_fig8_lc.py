@@ -1,0 +1,157 @@
+"""Figure 8 — Q1 and Q2 on the lab-cluster (LC) profile (§7.2).
+
+Six panels (time / bandwidth / dollars × Q1 / Q2) with ISL, BFHM, and
+DRJN.  The paper omits the MapReduce baselines here ("IJLMR, PIG, and
+HIVE had significantly reduced performance ... we omit specific results"),
+and so do we.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import KS
+from repro.bench.harness import run_series
+from repro.bench.reporting import format_recall, format_series
+from repro.tpch.queries import q1, q2
+
+ALGORITHMS = ["isl", "bfhm", "drjn"]
+_CACHE = {}
+
+
+def _series(setup, query_factory, name):
+    if name not in _CACHE:
+        _CACHE[name] = run_series(setup, query_factory, KS, ALGORITHMS)
+    return _CACHE[name]
+
+
+def _by_k(points):
+    return {point.k: point for point in points}
+
+
+@pytest.mark.parametrize("query_factory,qname", [(q1, "Q1"), (q2, "Q2")],
+                         ids=["Q1", "Q2"])
+class TestFig8:
+    def test_time_panel(self, lc_setup, benchmark, query_factory, qname):
+        """Figs. 8(a)/(d): ISL and BFHM neck-and-neck (ISL best at small
+        k, BFHM closing/occasionally winning as k grows); DRJN trails by
+        orders of magnitude."""
+        series = benchmark.pedantic(
+            lambda: _series(lc_setup, query_factory, qname),
+            rounds=1, iterations=1,
+        )
+        print()
+        print(format_series(
+            f"Fig 8 {qname} LC — query processing time (simulated s)",
+            series, lambda p: p.time_s,
+        ))
+        print(format_recall(series))
+        isl = _by_k(series["isl"])
+        bfhm = _by_k(series["bfhm"])
+        drjn = _by_k(series["drjn"])
+        # DRJN's per-round full-scan map jobs dominate its latency
+        for k in KS:
+            assert drjn[k].time_s > 10 * max(isl[k].time_s, bfhm[k].time_s)
+        # ISL leads at the smallest k ...
+        assert isl[KS[0]].time_s <= bfhm[KS[0]].time_s * 1.05
+        # ... and the two stay within a small factor across the sweep
+        for k in KS:
+            ratio = bfhm[k].time_s / isl[k].time_s
+            assert 0.4 < ratio < 2.5, f"k={k}: curves should interleave"
+        # BFHM closes the gap (or wins) somewhere in the sweep
+        assert any(bfhm[k].time_s < isl[k].time_s for k in KS[1:])
+
+    def test_bandwidth_panel(self, lc_setup, benchmark, query_factory, qname):
+        """Figs. 8(b)/(e): DRJN's server-side filter keeps its *shipped*
+        bytes to a sliver of what its pull scans *read* — the §7.1
+        optimization that makes DRJN bandwidth-competitive at paper scale.
+
+        Known scale artifact (see EXPERIMENTS.md): in the paper DRJN's
+        fixed-size matrix rows undercut BFHM's megabyte blobs, so DRJN wins
+        the Q1 panel outright; at miniature scale both structures are tiny
+        and DRJN's temp-table traffic dominates instead.  The invariant
+        that survives scaling — asserted here — is the read-vs-ship gap
+        and DRJN's advantage eroding on the more demanding Q2.
+        """
+        series = benchmark.pedantic(
+            lambda: _series(lc_setup, query_factory, qname),
+            rounds=1, iterations=1,
+        )
+        print()
+        print(format_series(
+            f"Fig 8 {qname} LC — network bandwidth (bytes)",
+            series, lambda p: p.network_bytes,
+        ))
+        drjn = _by_k(series["drjn"])
+        isl = _by_k(series["isl"])
+        for k in KS:
+            # the server-side filter payoff: bytes shipped are a tiny
+            # fraction of the ~40-byte cells the pull jobs read
+            read_bytes_floor = drjn[k].kv_reads * 20
+            assert drjn[k].network_bytes < read_bytes_floor / 2, f"k={k}"
+        # DRJN ships less than ISL does per KV it returns (filtering works)
+        assert (drjn[KS[0]].network_bytes / max(1, drjn[KS[0]].kv_reads)
+                < isl[KS[0]].network_bytes / max(1, isl[KS[0]].kv_reads))
+
+    def test_drjn_advantage_shrinks_on_q2(self, lc_setup, benchmark,
+                                          query_factory, qname):
+        """§7.2: "For the more demanding Q2 however, as k increases, its
+        improvement over BFHM becomes much smaller" — DRJN's bandwidth
+        relative to BFHM degrades from Q1 to Q2."""
+        if qname != "Q1":
+            pytest.skip("comparison computed once, on the Q1 parametrization")
+        series_q1 = benchmark.pedantic(
+            lambda: _series(lc_setup, q1, "Q1"), rounds=1, iterations=1
+        )
+        series_q2 = _series(lc_setup, q2, "Q2")
+        k = KS[-1]
+        ratio_q1 = (_by_k(series_q1["drjn"])[k].network_bytes
+                    / max(1, _by_k(series_q1["bfhm"])[k].network_bytes))
+        ratio_q2 = (_by_k(series_q2["drjn"])[k].network_bytes
+                    / max(1, _by_k(series_q2["bfhm"])[k].network_bytes))
+        assert ratio_q2 > ratio_q1 * 0.9  # Q2 is no kinder to DRJN
+
+    def test_dollar_panel(self, lc_setup, benchmark, query_factory, qname):
+        """Figs. 8(c)/(f): BFHM up to ~5 orders cheaper than DRJN; DRJN is
+        the worst of the three by far."""
+        series = benchmark.pedantic(
+            lambda: _series(lc_setup, query_factory, qname),
+            rounds=1, iterations=1,
+        )
+        print()
+        print(format_series(
+            f"Fig 8 {qname} LC — dollar cost (KV read units)",
+            series, lambda p: p.kv_reads,
+        ))
+        isl = _by_k(series["isl"])
+        bfhm = _by_k(series["bfhm"])
+        drjn = _by_k(series["drjn"])
+        for k in KS:
+            assert bfhm[k].kv_reads < isl[k].kv_reads
+            assert drjn[k].kv_reads > 100 * bfhm[k].kv_reads, (
+                f"k={k}: DRJN pull scans must dwarf BFHM's surgical reads"
+            )
+
+    def test_recall_is_perfect_everywhere(self, lc_setup, benchmark,
+                                          query_factory, qname):
+        series = benchmark.pedantic(
+            lambda: _series(lc_setup, query_factory, qname),
+            rounds=1, iterations=1,
+        )
+        for name, points in series.items():
+            for point in points:
+                assert point.recall == 1.0, (name, point.k)
+
+
+class TestQ1VsQ2:
+    def test_q2_costs_more_than_q1(self, lc_setup, benchmark):
+        """§7.2: Q2's skewed scores force every index-based algorithm to
+        reach deeper, raising all three metrics."""
+        def measure():
+            return (_series(lc_setup, q1, "Q1"), _series(lc_setup, q2, "Q2"))
+
+        series_q1, series_q2 = benchmark.pedantic(measure, rounds=1, iterations=1)
+        for name in ("isl", "bfhm"):
+            q1_cost = _by_k(series_q1[name])[KS[-1]].kv_reads
+            q2_cost = _by_k(series_q2[name])[KS[-1]].kv_reads
+            assert q2_cost > q1_cost, name

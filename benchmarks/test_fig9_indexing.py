@@ -1,0 +1,91 @@
+"""Figure 9 — index construction time (§7.2).
+
+Build times for the IJLMR, ISL, BFHM, and DRJN indices on both cluster
+profiles and across dataset sizes, plus the paper's headline observation:
+index build + query is on par with (or below) a single Pig run, so indices
+pay for themselves within one query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_setup, run_point
+from repro.bench.reporting import format_table
+from repro.cluster.costmodel import EC2_PROFILE, LC_PROFILE
+from repro.tpch.queries import q1
+
+INDEXED = ["ijlmr", "isl", "bfhm", "drjn"]
+
+
+def _build_all(profile, micro_scale):
+    setup = build_setup(profile, micro_scale=micro_scale, seed=7)
+    reports = {}
+    for name in INDEXED:
+        algorithm = setup.engine.algorithm(name)
+        built = algorithm.prepare(q1(1))
+        reports[name] = sum(r.build_time_s for r in built)
+    return setup, reports
+
+
+class TestFig9:
+    def test_indexing_time_both_profiles(self, benchmark):
+        """Fig. 9: indexing scales with dataset and cluster; one MR pass
+        per relation."""
+        def measure():
+            rows = {}
+            for profile, scale in ((EC2_PROFILE, 0.5), (LC_PROFILE, 2.0)):
+                _, reports = _build_all(profile, scale)
+                rows[profile.name] = reports
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print()
+        print(format_table(
+            "Fig 9 — indexing time (simulated s, Part+Lineitem of Q1)",
+            list(rows),
+            INDEXED,
+            [[f"{rows[profile][name]:.1f}" for name in INDEXED]
+             for profile in rows],
+        ))
+        for profile_rows in rows.values():
+            for name in INDEXED:
+                assert profile_rows[name] > 0
+
+    def test_indexing_scales_with_data(self, benchmark):
+        def measure():
+            times = {}
+            for scale in (0.25, 1.0):
+                _, reports = _build_all(EC2_PROFILE, scale)
+                times[scale] = reports
+            return times
+
+        times = benchmark.pedantic(measure, rounds=1, iterations=1)
+        for name in INDEXED:
+            assert times[1.0][name] > times[0.25][name], (
+                f"{name} build time should grow with the dataset"
+            )
+
+    def test_build_plus_query_beats_pig(self, benchmark):
+        """§7.2: "we can afford to build our indices just before executing
+        a query, and still be competitive against PIG" (and Hive)."""
+        def measure():
+            setup = build_setup(EC2_PROFILE, micro_scale=0.5, seed=7)
+            pig = run_point(setup, q1(10), "pig")
+            hive = run_point(setup, q1(10), "hive")
+            totals = {}
+            for name in ("isl", "bfhm"):
+                algorithm = setup.engine.algorithm(name)
+                build_time = sum(r.build_time_s for r in algorithm.prepare(q1(1)))
+                query = run_point(setup, q1(10), name)
+                totals[name] = build_time + query.time_s
+            return pig.time_s, hive.time_s, totals
+
+        pig_time, hive_time, totals = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        print(f"\nPIG {pig_time:.1f}s  HIVE {hive_time:.1f}s  "
+              + "  ".join(f"{n}: build+query {t:.1f}s" for n, t in totals.items()))
+        for name, total in totals.items():
+            assert total < hive_time, name
+            assert total < pig_time * 1.5, name  # on par or better

@@ -1,0 +1,100 @@
+"""§7.2's in-text index footprint report.
+
+Disk space per index (BFHM including reverse mappings; ISL and IJLMR
+identical in content hence size; DRJN tiny and bounded by its matrix
+dimensions) and peak reducer memory during index builds (BFHM ≫ DRJN ≫
+ISL/IJLMR's "negligible").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_setup
+from repro.bench.reporting import format_table
+from repro.cluster.costmodel import LC_PROFILE
+from repro.tpch.queries import q1, q2
+
+INDEXED = ["ijlmr", "isl", "bfhm", "drjn"]
+
+
+def _reports(setup):
+    reports = {}
+    for name in INDEXED:
+        algorithm = setup.engine.algorithm(name)
+        built = []
+        built += algorithm.prepare(q1(1))
+        built += algorithm.prepare(q2(1))
+        reports[name] = built
+    return reports
+
+
+class TestIndexFootprints:
+    def test_disk_sizes(self, benchmark):
+        def measure():
+            setup = build_setup(LC_PROFILE, micro_scale=1.0, seed=7)
+            base = {
+                name: setup.platform.store.backing(name).disk_size
+                for name in ("part", "orders", "lineitem")
+            }
+            return base, _reports(setup)
+
+        base, reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+        sizes = {
+            name: sum(r.index_bytes for r in built)
+            for name, built in reports.items()
+        }
+        print()
+        print(format_table(
+            "Index disk footprint (bytes; all Q1+Q2 relations)",
+            ["bytes"], INDEXED,
+            [[f"{sizes[name]:,}" for name in INDEXED]],
+        ))
+        print(f"base tables: {sum(base.values()):,} bytes")
+
+        # ISL and IJLMR store the same (rowkey, join, score) content
+        assert sizes["isl"] == pytest.approx(sizes["ijlmr"], rel=0.25)
+        # BFHM adds blobs + reverse mappings on top of that content
+        assert sizes["bfhm"] > sizes["isl"]
+        # DRJN's matrix is smaller than any inverted list — and, unlike
+        # them, bounded: its cell count is capped by buckets x partitions,
+        # so at paper scale the gap becomes orders of magnitude (§7.2)
+        assert sizes["drjn"] < sizes["isl"]
+        from repro.baselines.drjn import (
+            DEFAULT_JOIN_PARTITIONS,
+            DEFAULT_SCORE_BUCKETS,
+        )
+        from repro.core.indexes import DRJN_TABLE
+
+        def measure_cells():
+            setup = build_setup(LC_PROFILE, micro_scale=1.0, seed=7)
+            _reports(setup)
+            return setup.platform.store.backing(DRJN_TABLE).raw_cell_count()
+
+        cap = 4 * (DEFAULT_SCORE_BUCKETS * DEFAULT_JOIN_PARTITIONS
+                   + DEFAULT_JOIN_PARTITIONS)
+        assert measure_cells() <= cap
+        # every index undercuts the (payload-heavy) base tables
+        assert all(size < sum(base.values()) for size in sizes.values())
+
+    def test_reducer_memory(self, benchmark):
+        """BFHM's reducers hold whole buckets (GB at paper scale); ISL and
+        IJLMR builds are map-only (no reducer state at all)."""
+        def measure():
+            setup = build_setup(LC_PROFILE, micro_scale=1.0, seed=7)
+            return _reports(setup)
+
+        reports = benchmark.pedantic(measure, rounds=1, iterations=1)
+        peaks = {
+            name: max((r.reducer_peak_bytes for r in built), default=0)
+            for name, built in reports.items()
+        }
+        print()
+        print(format_table(
+            "Peak reducer memory during index builds (bytes)",
+            ["bytes"], INDEXED,
+            [[f"{peaks[name]:,}" for name in INDEXED]],
+        ))
+        assert peaks["ijlmr"] == 0  # map-only build
+        assert peaks["isl"] == 0  # map-only build
+        assert peaks["bfhm"] > peaks["drjn"] > 0

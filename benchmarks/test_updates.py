@@ -1,0 +1,123 @@
+"""§7.2's online-update experiment.
+
+TPC-H refresh sets (≈600·s insertions + ≈150·s deletions per set) are
+applied through the maintenance interceptors; queries then run with the
+*eager* BFHM write-back — the worst case for query latency, since the
+coordinator reconstructs and writes back stale blobs at the start of query
+processing.  The paper reports < 10% query-time overhead; we assert the
+same bound, and that recall stays perfect throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_setup, run_point
+from repro.cluster.costmodel import LC_PROFILE
+from repro.core.bfhm.algorithm import BFHMRankJoin
+from repro.core.bfhm.updates import WriteBackPolicy
+from repro.maintenance.interceptor import MaintainedRelation
+from repro.tpch.loader import lineitem_by_order_binding, orders_binding
+from repro.tpch.queries import q2
+from repro.tpch.updates import generate_refresh_sets
+
+
+def _setup_with_updates():
+    setup = build_setup(LC_PROFILE, micro_scale=1.0, seed=11)
+    algorithm = BFHMRankJoin(
+        setup.platform, write_back=WriteBackPolicy.EAGER
+    )
+    algorithm.prepare(q2(1))
+    setup.engine.register("bfhm", algorithm)
+    relations = {
+        "orders": MaintainedRelation(
+            setup.platform, orders_binding(),
+            bfhm_manager=algorithm.update_manager,
+        ),
+        "lineitem": MaintainedRelation(
+            setup.platform, lineitem_by_order_binding(),
+            bfhm_manager=algorithm.update_manager,
+        ),
+    }
+    return setup, relations
+
+
+def _apply(relations, refresh):
+    for order in refresh.insert_orders:
+        relations["orders"].insert(order["orderkey"], order)
+    for item in refresh.insert_lineitems:
+        relations["lineitem"].insert(item["rowkey"], item)
+    for orderkey in refresh.delete_orders:
+        relations["orders"].delete(orderkey)
+    for rowkey in refresh.delete_lineitems:
+        relations["lineitem"].delete(rowkey)
+
+
+class TestOnlineUpdates:
+    def test_eager_writeback_overhead_under_10_percent(self, benchmark):
+        def measure():
+            setup, relations = _setup_with_updates()
+            query = q2(20)
+            baseline = run_point(setup, query, "bfhm")
+            overheads = []
+            for refresh in generate_refresh_sets(setup.data, count=3):
+                _apply(relations, refresh)
+                loaded = run_point(setup, query, "bfhm")
+                overheads.append(loaded)
+                assert loaded.recall == 1.0
+            return baseline, overheads
+
+        baseline, loaded_points = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        print(f"\nbaseline {baseline.time_s:.3f}s; after update sets: "
+              + ", ".join(f"{p.time_s:.3f}s" for p in loaded_points))
+        assert baseline.recall == 1.0
+        for point in loaded_points:
+            overhead = point.time_s / baseline.time_s - 1.0
+            assert overhead < 0.10, (
+                f"eager write-back overhead {overhead:.1%} exceeds the "
+                "paper's <10% bound"
+            )
+
+    def test_updates_visible_in_results(self, benchmark):
+        def measure():
+            setup, relations = _setup_with_updates()
+            order = {
+                "orderkey": "O99999990", "custkey": "C000001",
+                "orderstatus": "O", "totalprice": 0.999,
+                "orderdate": "1998-01-01", "orderpriority": "1-URGENT",
+                "clerk": "Clerk#1", "shippriority": 0, "comment": "rush",
+            }
+            item = {
+                "rowkey": "L999999990", "orderkey": "O99999990",
+                "partkey": "P0000001", "suppkey": "S1", "linenumber": 1,
+                "quantity": 1, "extendedprice": 0.999, "discount": 0.0,
+                "tax": 0.0, "returnflag": "N", "linestatus": "O",
+                "shipdate": "1998-01-02", "commitdate": "1998-01-02",
+                "receiptdate": "1998-01-03", "shipinstruct": "NONE",
+                "shipmode": "AIR", "comment": "rush",
+            }
+            relations["orders"].insert(order["orderkey"], order)
+            relations["lineitem"].insert(item["rowkey"], item)
+            return run_point(setup, q2(1), "bfhm")
+
+        point = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert point.recall == 1.0
+
+
+class TestWriteBackAmortization:
+    def test_second_query_cheaper_after_eager_writeback(self, benchmark):
+        """Once the first query has folded the update records back into
+        the blobs, subsequent queries pay no replay cost."""
+        def measure():
+            setup, relations = _setup_with_updates()
+            refresh = generate_refresh_sets(setup.data, count=1)[0]
+            _apply(relations, refresh)
+            first = run_point(setup, q2(20), "bfhm")
+            second = run_point(setup, q2(20), "bfhm")
+            return first, second
+
+        first, second = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert second.time_s <= first.time_s * 1.01
+        assert second.recall == first.recall == 1.0

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package, so PEP-517 editable
+builds (which need bdist_wheel) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on newer toolchains) work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Baseline rank-join approaches: Hive, Pig, and DRJN (§3, §7.1)."""
+
+from repro.baselines.drjn import DRJNRankJoin
+from repro.baselines.hive import HiveRankJoin
+from repro.baselines.pig import PigRankJoin
+
+__all__ = ["DRJNRankJoin", "HiveRankJoin", "PigRankJoin"]

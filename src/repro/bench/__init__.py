@@ -1,0 +1,18 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.bench.harness import (
+    ExperimentSetup,
+    SeriesPoint,
+    build_setup,
+    run_series,
+)
+from repro.bench.reporting import format_series, format_table
+
+__all__ = [
+    "ExperimentSetup",
+    "SeriesPoint",
+    "build_setup",
+    "run_series",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,66 @@
+"""ASCII rendering of the regenerated figure series.
+
+The paper's figures are log-scale line plots over k; we print the same
+series as tables (rows: k, columns: algorithms) so every panel's numbers
+are inspectable in CI output and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.harness import SeriesPoint
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.3e}"
+    return f"{value:,.3f}".rstrip("0").rstrip(".")
+
+
+def format_table(
+    title: str,
+    row_labels: "list[str]",
+    column_labels: "list[str]",
+    cells: "list[list[str]]",
+) -> str:
+    """A plain fixed-width table."""
+    header = ["", *column_labels]
+    rows = [[label, *row] for label, row in zip(row_labels, cells)]
+    widths = [
+        max(len(str(line[i])) for line in [header, *rows])
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: "dict[str, list[SeriesPoint]]",
+    metric: "Callable[[SeriesPoint], float]",
+) -> str:
+    """One figure panel: k rows × algorithm columns of one metric."""
+    algorithms = list(series)
+    ks = [point.k for point in series[algorithms[0]]]
+    cells = []
+    for i, _k in enumerate(ks):
+        cells.append(
+            [_format_value(metric(series[name][i])) for name in algorithms]
+        )
+    return format_table(title, [f"k={k}" for k in ks], algorithms, cells)
+
+
+def format_recall(series: "dict[str, list[SeriesPoint]]") -> str:
+    """Recall summary (the paper's 100%-recall claim for BFHM)."""
+    pieces = []
+    for name, points in series.items():
+        worst = min(point.recall for point in points)
+        pieces.append(f"{name}: min recall {worst:.3f}")
+    return "; ".join(pieces)

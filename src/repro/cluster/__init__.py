@@ -1,0 +1,23 @@
+"""Simulated cluster: nodes, cost model, metrics, and the simulation context.
+
+The paper evaluates on real clusters (EC2 and a lab cluster) with three
+metrics: query turnaround time, network bandwidth, and dollar cost (§7.1).
+This subpackage supplies the substitute: a deterministic cost model that
+charges every store/RPC/MapReduce operation for the resources it would have
+consumed, accumulated in a :class:`MetricsCollector`.
+"""
+
+from repro.cluster.costmodel import CostModel, EC2_PROFILE, LC_PROFILE
+from repro.cluster.metrics import MetricsCollector, MetricsSnapshot
+from repro.cluster.simulation import Node, SimCluster, SimContext
+
+__all__ = [
+    "CostModel",
+    "EC2_PROFILE",
+    "LC_PROFILE",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "Node",
+    "SimCluster",
+    "SimContext",
+]

@@ -1,0 +1,40 @@
+"""Shared primitive types and helpers used across the repro package."""
+
+from repro.common.functions import (
+    AggregateFunction,
+    ProductFunction,
+    SumFunction,
+    WeightedSumFunction,
+    MaxFunction,
+    MinFunction,
+    resolve_function,
+)
+from repro.common.serialization import (
+    encode_str,
+    decode_str,
+    encode_float,
+    decode_float,
+    encode_score_key,
+    decode_score_key,
+    sizeof,
+)
+from repro.common.types import JoinTuple, ScoredRow
+
+__all__ = [
+    "AggregateFunction",
+    "ProductFunction",
+    "SumFunction",
+    "WeightedSumFunction",
+    "MaxFunction",
+    "MinFunction",
+    "resolve_function",
+    "encode_str",
+    "decode_str",
+    "encode_float",
+    "decode_float",
+    "encode_score_key",
+    "decode_score_key",
+    "sizeof",
+    "JoinTuple",
+    "ScoredRow",
+]

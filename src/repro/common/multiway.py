@@ -1,0 +1,53 @@
+"""N-way join result tuples.
+
+§3 notes that "extending the algorithms to multi-way joins is
+straightforward"; this module provides the n-ary analogue of
+:class:`~repro.common.types.JoinTuple` used by the multi-way operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.functions import AggregateFunction
+from repro.common.types import ScoredRow
+
+
+@dataclass(frozen=True, slots=True)
+class MultiJoinTuple:
+    """One tuple of an n-way top-k join result."""
+
+    keys: tuple[str, ...]
+    join_value: str
+    score: float
+    scores: tuple[float, ...]
+
+    def sort_key(self) -> tuple:
+        """Descending score, then deterministic key order."""
+        return (-self.score, self.keys)
+
+    @property
+    def arity(self) -> int:
+        return len(self.keys)
+
+
+def combine_rows(
+    rows: Sequence[ScoredRow], function: AggregateFunction
+) -> MultiJoinTuple:
+    """Build the join tuple of one row per relation (equal join values)."""
+    join_value = rows[0].join_value
+    if any(row.join_value != join_value for row in rows[1:]):
+        raise ValueError("combine_rows requires matching join values")
+    scores = tuple(row.score for row in rows)
+    return MultiJoinTuple(
+        keys=tuple(row.row_key for row in rows),
+        join_value=join_value,
+        score=function.combine(scores),
+        scores=scores,
+    )
+
+
+def top_k_multi(tuples: "list[MultiJoinTuple]", k: int) -> list[MultiJoinTuple]:
+    """Deterministic top-``k`` selection."""
+    return sorted(tuples, key=MultiJoinTuple.sort_key)[:k]

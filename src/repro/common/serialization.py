@@ -1,0 +1,100 @@
+"""Byte-level encodings and size accounting.
+
+The bandwidth/dollar-cost metrics of the paper (§7.1) are defined over bytes
+shipped and key-value pairs read.  To account those faithfully, everything
+that crosses a simulated network or lands in the simulated store has a
+well-defined serialized size.  We use compact, deterministic encodings:
+
+* strings — UTF-8;
+* floats — 8-byte IEEE-754 big-endian;
+* score keys — fixed-width decimal strings of the *negated* score, so that
+  HBase's ascending-key scans return rows in descending-score order (the
+  "kink" of §4.2.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def encode_str(value: str) -> bytes:
+    """UTF-8 encode a string."""
+    return value.encode("utf-8")
+
+
+def decode_str(data: bytes) -> str:
+    """Inverse of :func:`encode_str`."""
+    return data.decode("utf-8")
+
+
+def encode_float(value: float) -> bytes:
+    """Serialize a float as 8 bytes, big-endian IEEE-754."""
+    return struct.pack(">d", value)
+
+
+def decode_float(data: bytes) -> float:
+    """Inverse of :func:`encode_float`."""
+    return struct.unpack(">d", data)[0]
+
+
+def encode_score_key(score: float) -> str:
+    """Encode a score as a row key that sorts ascending by *descending* score.
+
+    HBase scans ascend; to iterate in decreasing score order the ISL index
+    stores negated scores (§4.2.2, Fig. 3).  We use the standard sortable
+    IEEE-754 trick: map the double's bit pattern to an order-preserving
+    unsigned integer, complement it (descending), and render fixed-width
+    hex.  The encoding is *lossless* — tuple scores recovered from index
+    keys are bit-exact — and totally ordered for any finite score.
+    """
+    bits = struct.unpack(">Q", struct.pack(">d", score))[0]
+    if bits & _SIGN64:
+        ascending = ~bits & _MASK64  # negative floats: reverse order
+    else:
+        ascending = bits | _SIGN64
+    descending = ~ascending & _MASK64
+    return f"{descending:016x}"
+
+
+def decode_score_key(key: str) -> float:
+    """Exact inverse of :func:`encode_score_key`."""
+    descending = int(key, 16)
+    ascending = ~descending & _MASK64
+    if ascending & _SIGN64:
+        bits = ascending & ~_SIGN64
+    else:
+        bits = ~ascending & _MASK64
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def sizeof(value: Any) -> int:
+    """Serialized size (bytes) of a value for network/storage accounting.
+
+    Handles the primitives the library stores: bytes, str, int, float, bool,
+    None, and (recursively) tuples/lists/dicts of those.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, int):
+        return max(1, (value.bit_length() + 7) // 8)
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (tuple, list)):
+        return 2 + sum(sizeof(v) for v in value)
+    if isinstance(value, dict):
+        return 2 + sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    # dataclass-like objects used internally expose __sizeof_payload__
+    payload_size = getattr(value, "serialized_size", None)
+    if callable(payload_size):
+        return payload_size()
+    raise TypeError(f"cannot compute serialized size of {type(value).__name__}")

@@ -1,0 +1,24 @@
+"""The paper's contributed rank-join algorithms.
+
+* :mod:`repro.core.hrjn` — the centralized HRJN operator (Ilyas et al.,
+  VLDB 2003) that ISL adapts;
+* :mod:`repro.core.ijlmr` — Inverse Join List MapReduce rank join (§4.1);
+* :mod:`repro.core.isl` — Inverse Score List rank join (§4.2);
+* :mod:`repro.core.bfhm` — the Bloom Filter Histogram Matrix rank join
+  (§5), with its update machinery (§6).
+"""
+
+from repro.core.base import IndexBuildReport, RankJoinAlgorithm
+from repro.core.bfhm import BFHMRankJoin
+from repro.core.hrjn import HRJNOperator
+from repro.core.ijlmr import IJLMRRankJoin
+from repro.core.isl import ISLRankJoin
+
+__all__ = [
+    "IndexBuildReport",
+    "RankJoinAlgorithm",
+    "BFHMRankJoin",
+    "HRJNOperator",
+    "IJLMRRankJoin",
+    "ISLRankJoin",
+]

@@ -1,0 +1,26 @@
+"""BFHM — the Bloom Filter Histogram Matrix rank join (§5, §6).
+
+* :mod:`repro.core.bfhm.bucket` — the bucket data structure and its wire
+  codecs (blob rows, reverse-mapping rows, meta row);
+* :mod:`repro.core.bfhm.index` — the MapReduce index build (Alg. 5);
+* :mod:`repro.core.bfhm.estimation` — phase 1: bucket fetching, bucket
+  joins (Alg. 7), and the termination test (Alg. 6);
+* :mod:`repro.core.bfhm.algorithm` — the full query driver: phase 2
+  (reverse mapping), and the §5.3 recall-repair loop guaranteeing 100%
+  recall;
+* :mod:`repro.core.bfhm.updates` — §6 update machinery: insertion and
+  tombstone records, replay, and eager/lazy/offline blob write-back.
+"""
+
+from repro.core.bfhm.algorithm import BFHMRankJoin, TerminationPolicy
+from repro.core.bfhm.bucket import BFHMBucketData
+from repro.core.bfhm.index import BFHMIndexBuilder
+from repro.core.bfhm.updates import WriteBackPolicy
+
+__all__ = [
+    "BFHMRankJoin",
+    "TerminationPolicy",
+    "BFHMBucketData",
+    "BFHMIndexBuilder",
+    "WriteBackPolicy",
+]

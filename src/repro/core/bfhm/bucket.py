@@ -1,0 +1,156 @@
+"""BFHM bucket structures and wire codecs (§5.1, Figs. 4–5).
+
+Storage layout, per indexed relation (one column family per relation
+signature in the shared ``bfhm_idx`` table):
+
+* **meta row** (key ``meta``) — ``num_buckets``, ``m_bits``, and the list
+  of non-empty bucket numbers;
+* **blob rows** (key ``B<bucket>``) — the Golomb-compressed hybrid filter
+  ("blob"), the actual min and max scores of tuples recorded in the bucket,
+  and the tuple count; update records (§6) ride in this row as extra
+  qualifiers;
+* **reverse-mapping rows** (key ``R<bucket>|<bitpos>``) — one qualifier per
+  indexed tuple hashing to that bit position, valued ``(score, join value)``
+  so phase 2 can materialize candidate tuples with single point reads.
+
+Bucket numbering: bucket 0 is the highest score range, so ascending row
+keys scan buckets in descending score order (the same trick as ISL keys).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.common.types import ScoredRow
+from repro.errors import IndexError_
+from repro.sketches.hybrid import HybridBlob, HybridBloomFilter
+
+META_ROW = "meta"
+Q_BLOB = "blob"
+Q_MIN = "min"
+Q_MAX = "max"
+Q_COUNT = "count"
+Q_NUM_BUCKETS = "num_buckets"
+Q_M_BITS = "m_bits"
+Q_BUCKETS = "buckets"
+
+_BLOB_HEADER = struct.Struct(">IIIIIII")
+_F64 = struct.Struct(">d")
+
+
+def blob_row_key(bucket: int) -> str:
+    return f"B{bucket:05d}"
+
+
+def reverse_row_key(bucket: int, bit_position: int) -> str:
+    return f"R{bucket:05d}|{bit_position:09d}"
+
+
+def encode_blob(blob: HybridBlob) -> bytes:
+    """Serialize a hybrid-filter blob to its stored byte form."""
+    header = _BLOB_HEADER.pack(
+        blob.bit_count,
+        blob.entry_count,
+        blob.item_count,
+        blob.positions_bits,
+        blob.positions_parameter,
+        blob.counters_bits,
+        blob.counters_parameter,
+    )
+    return (
+        header
+        + struct.pack(">I", len(blob.positions_payload))
+        + blob.positions_payload
+        + struct.pack(">I", len(blob.counters_payload))
+        + blob.counters_payload
+    )
+
+
+def decode_blob(data: bytes) -> HybridBlob:
+    """Inverse of :func:`encode_blob`."""
+    if len(data) < _BLOB_HEADER.size + 8:
+        raise IndexError_(f"truncated BFHM blob: {len(data)} bytes")
+    fields = _BLOB_HEADER.unpack_from(data, 0)
+    offset = _BLOB_HEADER.size
+    (pos_len,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    positions_payload = data[offset : offset + pos_len]
+    offset += pos_len
+    (count_len,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    counters_payload = data[offset : offset + count_len]
+    return HybridBlob(
+        bit_count=fields[0],
+        entry_count=fields[1],
+        item_count=fields[2],
+        positions_payload=positions_payload,
+        positions_bits=fields[3],
+        positions_parameter=fields[4],
+        counters_payload=counters_payload,
+        counters_bits=fields[5],
+        counters_parameter=fields[6],
+    )
+
+
+def encode_reverse_value(join_value: str, score: float) -> bytes:
+    """Value of one reverse-mapping entry: ``{rowkey: join value, score}``."""
+    return _F64.pack(score) + join_value.encode("utf-8")
+
+
+def decode_reverse_value(row_key: str, data: bytes) -> ScoredRow:
+    score = _F64.unpack_from(data, 0)[0]
+    join_value = data[8:].decode("utf-8")
+    return ScoredRow(row_key=row_key, join_value=join_value, score=score)
+
+
+def encode_bucket_list(buckets: "list[int]") -> bytes:
+    return ",".join(str(b) for b in buckets).encode("utf-8")
+
+
+def decode_bucket_list(data: bytes) -> list[int]:
+    text = data.decode("utf-8")
+    return [int(piece) for piece in text.split(",") if piece]
+
+
+@dataclass
+class BFHMBucketData:
+    """One decoded bucket as the coordinator sees it."""
+
+    bucket: int
+    min_score: float
+    max_score: float
+    count: int
+    filter: HybridBloomFilter
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def blob_bytes(self) -> bytes:
+        return encode_blob(self.filter.to_blob())
+
+
+@dataclass(frozen=True)
+class BFHMMeta:
+    """Decoded meta row of one relation's BFHM.
+
+    ``family`` is the index column family holding this BFHM.  It encodes
+    the bucket-count configuration (``<signature>__b<numBuckets>``) so that
+    differently-configured BFHMs over the same relation — the parameter
+    sweeps of §7.1 — coexist in the index table without clobbering each
+    other.
+    """
+
+    num_buckets: int
+    m_bits: int
+    buckets: tuple[int, ...]  # non-empty bucket numbers, ascending
+    family: str = ""
+
+    def upper_boundary(self, bucket: int) -> float:
+        """Upper score boundary of a bucket (used for termination bounds —
+        the paper's example uses boundaries, not actual maxima, for
+        not-yet-fetched buckets)."""
+        from repro.sketches.histogram import bucket_bounds
+
+        return bucket_bounds(bucket, self.num_buckets)[1]

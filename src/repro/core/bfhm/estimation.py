@@ -1,0 +1,254 @@
+"""BFHM query phase 1: result-set estimation (Algorithms 6 and 7).
+
+The coordinator fetches BFHM bucket rows for the two relations alternately,
+in decreasing score order.  Every newly fetched bucket is "joined" against
+all previously fetched buckets of the other relation: bitwise-AND of the
+filters, α-compensated cardinality from the counter products, and min/max
+join scores from the buckets' actual min/max run through the aggregate
+function.  Estimation stops when the termination test says no unexamined
+bucket combination can beat the k-th estimated result.
+
+Two termination policies are provided (the paper's running example mixes
+bounds; see DESIGN.md):
+
+* ``CONSERVATIVE`` (default) — the gate is the k-th tuple of the estimate
+  expanded in descending *min-score* order; nothing reachable above that
+  guaranteed floor remains, so phase 1 alone can never drop a result.
+* ``AGGRESSIVE`` — the paper's narrative bound (descending *max-score*
+  order); terminates earlier, relying on the §5.3 recall-repair loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.functions import AggregateFunction
+from repro.common.serialization import decode_float, decode_str
+from repro.core.bfhm.bucket import (
+    Q_BLOB,
+    Q_COUNT,
+    Q_MAX,
+    Q_MIN,
+    BFHMBucketData,
+    BFHMMeta,
+    blob_row_key,
+    decode_blob,
+)
+from repro.core.bfhm.updates import BFHMUpdateManager
+from repro.core.indexes import BFHM_TABLE
+from repro.errors import IndexError_
+from repro.platform import Platform
+from repro.sketches.hybrid import HybridBloomFilter
+from repro.store.client import Get
+
+SCORE_EPSILON = 1e-12
+
+class TerminationPolicy(enum.Enum):
+    """Which bound of the k-th estimated result gates phase-1 termination."""
+
+    CONSERVATIVE = "conservative"
+    AGGRESSIVE = "aggressive"
+
+
+@dataclass
+class EstimatedResult:
+    """One bucket-pair join estimate (a row of Fig. 6(c))."""
+
+    left_bucket: int
+    right_bucket: int
+    common_positions: list[int]
+    cardinality: float
+    min_score: float
+    max_score: float
+
+
+@dataclass
+class _FetchedBucket:
+    data: BFHMBucketData
+
+    @property
+    def bucket(self) -> int:
+        return self.data.bucket
+
+
+class BFHMEstimator:
+    """Resumable phase-1 state: fetched buckets + estimated results."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        signatures: tuple[str, str],
+        metas: tuple[BFHMMeta, BFHMMeta],
+        function: AggregateFunction,
+        policy: TerminationPolicy = TerminationPolicy.CONSERVATIVE,
+        update_manager: "BFHMUpdateManager | None" = None,
+    ) -> None:
+        self.platform = platform
+        self.signatures = signatures
+        self.metas = metas
+        self.function = function
+        self.policy = policy
+        self.update_manager = update_manager
+        self.fetched: tuple[list[_FetchedBucket], list[_FetchedBucket]] = ([], [])
+        self._next_index = [0, 0]
+        self.results: list[EstimatedResult] = []
+        self.total_cardinality = 0.0
+        self.buckets_fetched = 0
+
+    # -- bucket fetching ------------------------------------------------------
+
+    def side_exhausted(self, side: int) -> bool:
+        return self._next_index[side] >= len(self.metas[side].buckets)
+
+    def next_bucket_number(self, side: int) -> "int | None":
+        if self.side_exhausted(side):
+            return None
+        return self.metas[side].buckets[self._next_index[side]]
+
+    def _fetch_bucket(self, side: int) -> "_FetchedBucket | None":
+        bucket_number = self.next_bucket_number(side)
+        if bucket_number is None:
+            return None
+        self._next_index[side] += 1
+        signature = self.signatures[side]
+        htable = self.platform.store.table(BFHM_TABLE)
+        row = htable.get(Get(blob_row_key(bucket_number), families={signature}))
+
+        if self.update_manager is not None:
+            data = self.update_manager.decode_with_replay(
+                signature, bucket_number, row
+            )
+        else:
+            data = decode_plain_bucket_row(signature, bucket_number, row)
+        # Golomb-decoding the blob costs coordinator CPU proportional to
+        # the bucket's population (§5.1's compression/processing trade-off)
+        model = self.platform.ctx.cost_model
+        self.platform.metrics.advance_time(
+            model.cpu_time(max(0, data.count)) * model.blob_decode_cpu_factor
+        )
+        self.buckets_fetched += 1
+        fetched = _FetchedBucket(data)
+        self.fetched[side].append(fetched)
+        return fetched
+
+    # -- bucket joins (Algorithm 7) ---------------------------------------------
+
+    def _bucket_join(
+        self, left: BFHMBucketData, right: BFHMBucketData
+    ) -> "EstimatedResult | None":
+        common = left.filter.intersect_positions(right.filter)
+        if not common:
+            return None
+        cardinality = left.filter.join_cardinality(right.filter)
+        return EstimatedResult(
+            left_bucket=left.bucket,
+            right_bucket=right.bucket,
+            common_positions=common,
+            cardinality=cardinality,
+            min_score=self.function(left.min_score, right.min_score),
+            max_score=self.function(left.max_score, right.max_score),
+        )
+
+    def _join_new_bucket(self, side: int, fetched: _FetchedBucket) -> list[EstimatedResult]:
+        produced = []
+        for other in self.fetched[1 - side]:
+            if side == 0:
+                estimate = self._bucket_join(fetched.data, other.data)
+            else:
+                estimate = self._bucket_join(other.data, fetched.data)
+            if estimate is None:
+                continue
+            produced.append(estimate)
+            self.results.append(estimate)
+            self.total_cardinality += max(1.0, estimate.cardinality)
+        return produced
+
+    def advance(self, side: int) -> bool:
+        """Fetch + join one bucket from ``side``; False if exhausted."""
+        fetched = self._fetch_bucket(side)
+        if fetched is None:
+            return False
+        self._join_new_bucket(side, fetched)
+        return True
+
+    # -- termination (Algorithm 6) -------------------------------------------------
+
+    def kth_bound(self, k: int, policy: "TerminationPolicy | None" = None) -> "float | None":
+        """The k-th estimated result's gating score, or None if fewer than
+        ``k`` estimated tuples exist."""
+        policy = policy or self.policy
+        if policy is TerminationPolicy.CONSERVATIVE:
+            ordered = sorted(self.results, key=lambda r: -r.min_score)
+            attribute = "min_score"
+        else:
+            ordered = sorted(self.results, key=lambda r: -r.max_score)
+            attribute = "max_score"
+        accumulated = 0
+        for result in ordered:
+            accumulated += max(1, round(result.cardinality))
+            if accumulated >= k:
+                return getattr(result, attribute)
+        return None
+
+    def unexamined_best(self, side: int) -> "float | None":
+        """Best join score any combination involving ``side``'s next
+        unfetched bucket could reach (bucket *boundaries*, as in the
+        paper's worked example), or None if the side is exhausted."""
+        next_bucket = self.next_bucket_number(side)
+        if next_bucket is None:
+            return None
+        other_meta = self.metas[1 - side]
+        if not other_meta.buckets:
+            return None
+        my_upper = self.metas[side].upper_boundary(next_bucket)
+        other_upper = other_meta.upper_boundary(other_meta.buckets[0])
+        if side == 0:
+            return self.function(my_upper, other_upper)
+        return self.function(other_upper, my_upper)
+
+    def should_terminate(self, k: int) -> bool:
+        """The Alg. 6 BFHMTerminationTest."""
+        if self.total_cardinality < k:
+            return False
+        bound = self.kth_bound(k)
+        if bound is None:
+            return False
+        for side in (0, 1):
+            best = self.unexamined_best(side)
+            if best is not None and best > bound + SCORE_EPSILON:
+                return False
+        return True
+
+    def run_until(self, k: int) -> None:
+        """Alternate bucket fetches until the termination test fires or
+        both relations are exhausted."""
+        side = 0
+        while not self.should_terminate(k):
+            if self.side_exhausted(0) and self.side_exhausted(1):
+                break
+            if self.side_exhausted(side):
+                side = 1 - side
+            self.advance(side)
+            side = 1 - side
+
+    def force_fetch(self, side: int) -> bool:
+        """Recall-repair hook: unconditionally pull one more bucket."""
+        return self.advance(side)
+
+
+def decode_plain_bucket_row(signature: str, bucket: int, row) -> BFHMBucketData:
+    """Decode a blob row that carries no pending update records."""
+    blob_raw = row.value(signature, Q_BLOB)
+    min_raw = row.value(signature, Q_MIN)
+    max_raw = row.value(signature, Q_MAX)
+    count_raw = row.value(signature, Q_COUNT)
+    if blob_raw is None or min_raw is None or max_raw is None:
+        raise IndexError_(f"BFHM bucket row B{bucket:05d} missing for {signature}")
+    return BFHMBucketData(
+        bucket=bucket,
+        min_score=decode_float(min_raw),
+        max_score=decode_float(max_raw),
+        count=int(decode_str(count_raw)) if count_raw is not None else 0,
+        filter=HybridBloomFilter.from_blob(decode_blob(blob_raw)),
+    )

@@ -1,0 +1,321 @@
+"""BFHM online updates (§6).
+
+Reverse mappings are maintained directly (insert: a new qualifier in the
+``bucket|bitPos`` row; delete: the store's vanilla delete).  Blob updates
+are deferred through **insertion** and **tombstone records**: extra
+qualifiers in the bucket row carrying the tuple's rowkey, join value and
+score, stamped with the original mutation timestamp.  Whoever fetches the
+bucket row replays the records in timestamp order over the stored blob and
+obtains the up-to-date filter; the reconstructed blob can be written back
+
+* **eagerly** — at the start of query processing (worst case for query
+  latency; the §7.2 update experiment's configuration),
+* **lazily** — after query results are returned,
+* **offline** — by a periodic sweeper thread,
+
+optionally only when at least ``writeback_threshold`` records have piled
+up.  Row-level atomicity plus timestamp ordering make the replay lossless.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.serialization import decode_float, decode_str, encode_float, encode_str
+from repro.core.bfhm.bucket import (
+    META_ROW,
+    Q_BLOB,
+    Q_BUCKETS,
+    Q_COUNT,
+    Q_MAX,
+    Q_MIN,
+    BFHMBucketData,
+    BFHMMeta,
+    blob_row_key,
+    decode_blob,
+    decode_bucket_list,
+    encode_blob,
+    encode_bucket_list,
+    encode_reverse_value,
+    reverse_row_key,
+)
+from repro.core.indexes import BFHM_TABLE
+from repro.errors import IndexError_
+from repro.platform import Platform
+from repro.sketches.histogram import score_to_bucket
+from repro.sketches.hybrid import HybridBloomFilter
+from repro.store.cell import RowResult
+from repro.store.client import Delete, Put
+
+#: update-record qualifier prefix: u<timestamp>|<op>|<rowkey>
+_RECORD_PREFIX = "u"
+_OP_INSERT = "i"
+_OP_DELETE = "d"
+
+
+class WriteBackPolicy(enum.Enum):
+    """When reconstructed blobs are persisted (§6)."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+    OFFLINE = "offline"
+
+
+def record_qualifier(timestamp: int, op: str, row_key: str) -> str:
+    return f"{_RECORD_PREFIX}{timestamp:012d}|{op}|{row_key}"
+
+
+def parse_record_qualifier(qualifier: str) -> "tuple[int, str, str] | None":
+    """``(timestamp, op, row_key)`` of an update record, or None."""
+    if not qualifier.startswith(_RECORD_PREFIX):
+        return None
+    pieces = qualifier[1:].split("|", 2)
+    if len(pieces) != 3 or pieces[1] not in (_OP_INSERT, _OP_DELETE):
+        return None
+    try:
+        return (int(pieces[0]), pieces[1], pieces[2])
+    except ValueError:
+        return None
+
+
+class BFHMUpdateManager:
+    """Applies online mutations and replays them at read time."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        policy: WriteBackPolicy = WriteBackPolicy.EAGER,
+        writeback_threshold: int = 1,
+    ) -> None:
+        self.platform = platform
+        self.policy = policy
+        self.writeback_threshold = max(1, writeback_threshold)
+        self._metas: dict[str, BFHMMeta] = {}
+        #: (signature, bucket) -> reconstructed data awaiting lazy write-back
+        self._pending: dict[tuple[str, int], BFHMBucketData] = {}
+        self.replays = 0
+        self.writebacks = 0
+
+    # -- meta handling ---------------------------------------------------------
+
+    def register_meta(self, signature: str, meta: BFHMMeta) -> None:
+        """Register under both the relation signature and the index family
+        so mutation interceptors (which know signatures) and bucket readers
+        (which know families) both resolve."""
+        self._metas[signature] = meta
+        if meta.family:
+            self._metas[meta.family] = meta
+
+    def meta(self, signature: str) -> BFHMMeta:
+        try:
+            return self._metas[signature]
+        except KeyError:
+            raise IndexError_(
+                f"BFHM meta for {signature!r} not registered with the "
+                "update manager"
+            ) from None
+
+    def _extend_meta_buckets(self, signature: str, bucket: int) -> None:
+        """Record a newly non-empty bucket in the meta row."""
+        meta = self.meta(signature)
+        if bucket in meta.buckets:
+            return
+        buckets = tuple(sorted((*meta.buckets, bucket)))
+        updated = BFHMMeta(meta.num_buckets, meta.m_bits, buckets, meta.family)
+        self.register_meta(signature, updated)
+        htable = self.platform.store.table(BFHM_TABLE)
+        put = Put(META_ROW)
+        put.add(meta.family, Q_BUCKETS, encode_bucket_list(list(buckets)))
+        htable.put(put)
+
+    # -- mutation path (intercepted by the maintenance layer) --------------------
+
+    def apply_insert(
+        self, signature: str, row_key: str, join_value: str, score: float,
+        timestamp: "int | None" = None,
+    ) -> int:
+        """Insert one tuple: reverse mapping + insertion record.
+
+        Returns the bucket the tuple landed in.
+        """
+        meta = self.meta(signature)
+        timestamp = timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
+        bucket = score_to_bucket(score, meta.num_buckets)
+        bit_position = HybridBloomFilter(meta.m_bits).position(join_value)
+        htable = self.platform.store.table(BFHM_TABLE)
+
+        reverse_put = Put(reverse_row_key(bucket, bit_position), timestamp=timestamp)
+        reverse_put.add(meta.family, row_key, encode_reverse_value(join_value, score))
+        record_put = Put(blob_row_key(bucket), timestamp=timestamp)
+        record_put.add(
+            meta.family,
+            record_qualifier(timestamp, _OP_INSERT, row_key),
+            encode_reverse_value(join_value, score),
+        )
+        htable.put_batch([reverse_put, record_put])
+        self._extend_meta_buckets(signature, bucket)
+        return bucket
+
+    def apply_delete(
+        self, signature: str, row_key: str, join_value: str, score: float,
+        timestamp: "int | None" = None,
+    ) -> int:
+        """Delete one tuple: drop its reverse mapping, add a tombstone
+        record for the blob replay."""
+        meta = self.meta(signature)
+        timestamp = timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
+        bucket = score_to_bucket(score, meta.num_buckets)
+        bit_position = HybridBloomFilter(meta.m_bits).position(join_value)
+        htable = self.platform.store.table(BFHM_TABLE)
+
+        htable.delete(
+            Delete(
+                reverse_row_key(bucket, bit_position),
+                family=meta.family,
+                qualifier=row_key,
+                timestamp=timestamp,
+            )
+        )
+        record_put = Put(blob_row_key(bucket), timestamp=timestamp)
+        record_put.add(
+            meta.family,
+            record_qualifier(timestamp, _OP_DELETE, row_key),
+            encode_reverse_value(join_value, score),
+        )
+        htable.put(record_put)
+        return bucket
+
+    # -- read-time replay -----------------------------------------------------------
+
+    def decode_with_replay(
+        self, signature: str, bucket: int, row: RowResult
+    ) -> BFHMBucketData:
+        """Decode a bucket row, replaying any pending update records."""
+        records: list[tuple[int, str, str, bytes]] = []
+        for cell in row.family_cells(signature):
+            parsed = parse_record_qualifier(cell.qualifier)
+            if parsed is not None:
+                records.append((*parsed, cell.value))
+
+        blob_raw = row.value(signature, Q_BLOB)
+        min_raw = row.value(signature, Q_MIN)
+        max_raw = row.value(signature, Q_MAX)
+        count_raw = row.value(signature, Q_COUNT)
+
+        if blob_raw is not None:
+            bucket_filter = HybridBloomFilter.from_blob(decode_blob(blob_raw))
+            min_score = decode_float(min_raw) if min_raw is not None else float("inf")
+            max_score = decode_float(max_raw) if max_raw is not None else float("-inf")
+            count = int(decode_str(count_raw)) if count_raw is not None else 0
+        else:
+            if not records:
+                raise IndexError_(
+                    f"BFHM bucket row B{bucket:05d} missing for {signature}"
+                )
+            bucket_filter = HybridBloomFilter(self.meta(signature).m_bits)
+            min_score = float("inf")
+            max_score = float("-inf")
+            count = 0
+
+        if not records:
+            return BFHMBucketData(bucket, min_score, max_score, count, bucket_filter)
+
+        # replay in mutation-timestamp order (§6: "replay all row mutations
+        # in timestamp order and reconstruct the up-to-date blob")
+        self.replays += 1
+        latest_timestamp = 0
+        for timestamp, op, _row_key, value in sorted(records):
+            score = decode_float(value[:8])
+            join_value = value[8:].decode("utf-8")
+            latest_timestamp = max(latest_timestamp, timestamp)
+            if op == _OP_INSERT:
+                bucket_filter.insert(join_value)
+                count += 1
+                min_score = min(min_score, score)
+                max_score = max(max_score, score)
+            else:
+                bucket_filter.remove(join_value)
+                count -= 1
+                # min/max stay as conservative (possibly loose) bounds
+
+        data = BFHMBucketData(bucket, min_score, max_score, count, bucket_filter)
+        if len(records) >= self.writeback_threshold:
+            if self.policy is WriteBackPolicy.EAGER:
+                self._write_back(signature, data, records, latest_timestamp)
+            elif self.policy is WriteBackPolicy.LAZY:
+                self._pending[(signature, bucket)] = data
+        return data
+
+    # -- write-back ---------------------------------------------------------------------
+
+    def _write_back(
+        self,
+        signature: str,
+        data: BFHMBucketData,
+        records: "list[tuple[int, str, str, bytes]]",
+        latest_timestamp: int,
+    ) -> None:
+        """Persist the reconstructed blob and purge replayed records, all
+        stamped with the latest replayed mutation's timestamp (§6)."""
+        htable = self.platform.store.table(BFHM_TABLE)
+        row_key = blob_row_key(data.bucket)
+        put = Put(row_key, timestamp=self.platform.ctx.next_timestamp())
+        put.add(signature, Q_BLOB, encode_blob(data.filter.to_blob()))
+        put.add(signature, Q_MIN, encode_float(data.min_score))
+        put.add(signature, Q_MAX, encode_float(data.max_score))
+        put.add(signature, Q_COUNT, encode_str(str(data.count)))
+        htable.put(put)
+        for timestamp, op, record_row_key, _value in records:
+            if timestamp <= latest_timestamp:
+                htable.delete(
+                    Delete(row_key, family=signature,
+                           qualifier=record_qualifier(timestamp, op, record_row_key))
+                )
+        self.writebacks += 1
+
+    def flush_pending(self) -> int:
+        """Lazy write-back: persist every reconstructed blob queued during
+        the last query.  Returns how many were written."""
+        flushed = 0
+        for (signature, bucket), data in sorted(self._pending.items()):
+            htable = self.platform.store.table(BFHM_TABLE)
+            row = htable.get(_bucket_get(signature, bucket))
+            records = [
+                (*parsed, cell.value)
+                for cell in row.family_cells(signature)
+                if (parsed := parse_record_qualifier(cell.qualifier)) is not None
+            ]
+            if records:
+                self._write_back(
+                    signature, data, records, max(r[0] for r in records)
+                )
+                flushed += 1
+        self._pending.clear()
+        return flushed
+
+    def offline_sweep(self, signature: str) -> int:
+        """Offline write-back: probe every bucket row for pending records
+        (the §6 "thread periodically probing bucket rows")."""
+        meta = self.meta(signature)
+        family = meta.family
+        htable = self.platform.store.table(BFHM_TABLE)
+        swept = 0
+        for bucket in meta.buckets:
+            row = htable.get(_bucket_get(family, bucket))
+            records = [
+                (*parsed, cell.value)
+                for cell in row.family_cells(family)
+                if (parsed := parse_record_qualifier(cell.qualifier)) is not None
+            ]
+            if not records:
+                continue
+            data = self.decode_with_replay(family, bucket, row)
+            self._write_back(family, data, records, max(r[0] for r in records))
+            swept += 1
+        return swept
+
+
+def _bucket_get(signature: str, bucket: int):
+    from repro.store.client import Get
+
+    return Get(blob_row_key(bucket), families={signature})

@@ -1,0 +1,175 @@
+"""The HRJN rank-join operator (Ilyas, Aref, Elmagarmid — VLDB 2003; §4.2.1).
+
+HRJN consumes two inputs sorted by descending score.  It hash-joins every
+newly retrieved tuple against the tuples already seen from the other input,
+keeps a top-k buffer, and maintains the threshold
+
+    S = max( f(s̄_L, ŝ_R), f(ŝ_L, s̄_R) )
+
+where ``ŝ`` is the first (largest) and ``s̄`` the latest (smallest) score
+seen per input.  No unseen join combination can beat ``S``, so the operator
+terminates when the current k-th result's score reaches it.
+
+The operator is incremental by design: ISL drives it with batched scans of
+the ISL index, and it can equally run standalone over in-memory sorted
+lists (the centralized setting of the original paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.functions import AggregateFunction
+from repro.common.types import JoinTuple, ScoredRow
+from repro.errors import QueryError
+
+#: numeric slack when comparing scores against the threshold
+SCORE_EPSILON = 1e-12
+
+LEFT = 0
+RIGHT = 1
+
+
+@dataclass
+class _SideState:
+    """Everything HRJN remembers about one input."""
+
+    by_join_value: dict[str, list[ScoredRow]] = field(default_factory=dict)
+    top_score: "float | None" = None
+    last_score: "float | None" = None
+    tuples_seen: int = 0
+
+    def observe(self, row: ScoredRow) -> None:
+        if self.top_score is None:
+            self.top_score = row.score
+        elif row.score > self.last_score + SCORE_EPSILON:  # type: ignore[operator]
+            raise QueryError(
+                f"HRJN input not sorted: score {row.score} after "
+                f"{self.last_score}"
+            )
+        self.last_score = row.score
+        self.tuples_seen += 1
+        self.by_join_value.setdefault(row.join_value, []).append(row)
+
+
+class HRJNOperator:
+    """Incremental two-way HRJN with threshold-based termination."""
+
+    def __init__(self, function: AggregateFunction, k: int) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive: {k}")
+        self.function = function
+        self.k = k
+        self._sides = (_SideState(), _SideState())
+        self._results: list[JoinTuple] = []
+
+    # -- feeding ------------------------------------------------------------
+
+    def add(self, side: int, row: ScoredRow) -> list[JoinTuple]:
+        """Feed one tuple from ``side``; returns join tuples it produced."""
+        if side not in (LEFT, RIGHT):
+            raise QueryError(f"side must be {LEFT} or {RIGHT}: {side}")
+        mine = self._sides[side]
+        other = self._sides[1 - side]
+        mine.observe(row)
+
+        produced: list[JoinTuple] = []
+        for match in other.by_join_value.get(row.join_value, ()):
+            left, right = (row, match) if side == LEFT else (match, row)
+            produced.append(
+                JoinTuple(
+                    left_key=left.row_key,
+                    right_key=right.row_key,
+                    join_value=row.join_value,
+                    score=self.function(left.score, right.score),
+                    left_score=left.score,
+                    right_score=right.score,
+                )
+            )
+        if produced:
+            self._results.extend(produced)
+            self._results.sort(key=JoinTuple.sort_key)
+            # keep a small buffer beyond k so ties are not lost
+            del self._results[self.k * 2 + 8 :]
+        return produced
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def results(self) -> list[JoinTuple]:
+        """Current top results (sorted, possibly fewer than k)."""
+        return self._results[: self.k]
+
+    def kth_score(self) -> "float | None":
+        if len(self._results) < self.k:
+            return None
+        return self._results[self.k - 1].score
+
+    def threshold(self) -> "float | None":
+        """Best score any unseen join combination could still reach, or
+        ``None`` until both inputs have produced at least one tuple."""
+        left, right = self._sides
+        if left.top_score is None or right.top_score is None:
+            return None
+        return max(
+            self.function(left.last_score, right.top_score),  # type: ignore[arg-type]
+            self.function(left.top_score, right.last_score),  # type: ignore[arg-type]
+        )
+
+    def terminated(self, exhausted: "tuple[bool, bool]" = (False, False)) -> bool:
+        """True once the k-th result provably cannot be displaced.
+
+        ``exhausted`` marks inputs with no tuples left; two exhausted
+        inputs always terminate (the full join has been seen).
+        """
+        if all(exhausted):
+            return True
+        kth = self.kth_score()
+        if kth is None:
+            return False
+        threshold = self.threshold()
+        if threshold is None:
+            return False
+        # an exhausted side can no longer lower its contribution, but the
+        # standard threshold is still a valid (if loose) upper bound
+        return kth >= threshold - SCORE_EPSILON
+
+    def tuples_seen(self) -> tuple[int, int]:
+        return (self._sides[LEFT].tuples_seen, self._sides[RIGHT].tuples_seen)
+
+
+def hrjn_join(
+    left: "list[ScoredRow]",
+    right: "list[ScoredRow]",
+    function: AggregateFunction,
+    k: int,
+) -> tuple[list[JoinTuple], tuple[int, int]]:
+    """Run HRJN to completion over in-memory inputs (sorted internally).
+
+    Returns the top-k tuples and how many tuples each input contributed
+    before termination (the depth metric).
+    """
+    operator = HRJNOperator(function, k)
+    ordered = (
+        sorted(left, key=lambda r: (-r.score, r.row_key)),
+        sorted(right, key=lambda r: (-r.score, r.row_key)),
+    )
+    positions = [0, 0]
+
+    def exhausted() -> tuple[bool, bool]:
+        return (
+            positions[LEFT] >= len(ordered[LEFT]),
+            positions[RIGHT] >= len(ordered[RIGHT]),
+        )
+
+    side = LEFT
+    while not operator.terminated(exhausted()):
+        done = exhausted()
+        if all(done):
+            break
+        if done[side]:
+            side = 1 - side
+        operator.add(side, ordered[side][positions[side]])
+        positions[side] += 1
+        side = 1 - side
+    return operator.results, operator.tuples_seen()

@@ -1,0 +1,156 @@
+"""N-way HRJN (§3 / §4.2.1 generalized).
+
+The two-way operator generalizes directly: inputs arrive sorted by
+descending score; each new tuple from relation ``i`` joins against the
+Cartesian product of already-seen matching tuples of every other relation;
+the threshold becomes
+
+    S = max over i of  f(ŝ_1, …, s̄_i, …, ŝ_n)
+
+(ŝ = first/top score per input, s̄ = latest/lowest seen), i.e. the best
+score any join combination involving an unseen tuple could still reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.common.functions import AggregateFunction
+from repro.common.multiway import MultiJoinTuple, combine_rows
+from repro.common.types import ScoredRow
+from repro.errors import QueryError
+
+SCORE_EPSILON = 1e-12
+
+
+@dataclass
+class _InputState:
+    by_join_value: dict[str, list[ScoredRow]] = field(default_factory=dict)
+    top_score: "float | None" = None
+    last_score: "float | None" = None
+    tuples_seen: int = 0
+
+    def observe(self, row: ScoredRow) -> None:
+        if self.top_score is None:
+            self.top_score = row.score
+        elif row.score > self.last_score + SCORE_EPSILON:  # type: ignore[operator]
+            raise QueryError(
+                f"multi-way HRJN input not sorted: {row.score} after "
+                f"{self.last_score}"
+            )
+        self.last_score = row.score
+        self.tuples_seen += 1
+        self.by_join_value.setdefault(row.join_value, []).append(row)
+
+
+class MultiWayHRJN:
+    """Incremental n-way HRJN with threshold-based termination."""
+
+    def __init__(self, arity: int, function: AggregateFunction, k: int) -> None:
+        if arity < 2:
+            raise QueryError(f"arity must be >= 2: {arity}")
+        if k <= 0:
+            raise QueryError(f"k must be positive: {k}")
+        self.arity = arity
+        self.function = function
+        self.k = k
+        self._inputs = [_InputState() for _ in range(arity)]
+        self._results: list[MultiJoinTuple] = []
+
+    def add(self, index: int, row: ScoredRow) -> list[MultiJoinTuple]:
+        """Feed one tuple from input ``index``; returns produced results."""
+        if not 0 <= index < self.arity:
+            raise QueryError(f"input index {index} out of range [0, {self.arity})")
+        state = self._inputs[index]
+        state.observe(row)
+
+        others = []
+        for other_index, other in enumerate(self._inputs):
+            if other_index == index:
+                continue
+            matches = other.by_join_value.get(row.join_value)
+            if not matches:
+                return []  # some relation has no partner (yet)
+            others.append((other_index, matches))
+
+        produced: list[MultiJoinTuple] = []
+        for combination in product(*(matches for _, matches in others)):
+            rows: list[ScoredRow] = [None] * self.arity  # type: ignore[list-item]
+            rows[index] = row
+            for (other_index, _), match in zip(others, combination):
+                rows[other_index] = match
+            produced.append(combine_rows(rows, self.function))
+        if produced:
+            self._results.extend(produced)
+            self._results.sort(key=MultiJoinTuple.sort_key)
+            del self._results[self.k * 2 + 8 :]
+        return produced
+
+    @property
+    def results(self) -> list[MultiJoinTuple]:
+        return self._results[: self.k]
+
+    def kth_score(self) -> "float | None":
+        if len(self._results) < self.k:
+            return None
+        return self._results[self.k - 1].score
+
+    def threshold(self) -> "float | None":
+        """S = max_i f(ŝ_1, …, s̄_i, …, ŝ_n); None until all inputs seen."""
+        tops = [state.top_score for state in self._inputs]
+        lasts = [state.last_score for state in self._inputs]
+        if any(score is None for score in tops):
+            return None
+        best = None
+        for i in range(self.arity):
+            scores = list(tops)
+            scores[i] = lasts[i]
+            candidate = self.function.combine(scores)  # type: ignore[arg-type]
+            best = candidate if best is None else max(best, candidate)
+        return best
+
+    def terminated(self, exhausted: "tuple[bool, ...] | None" = None) -> bool:
+        if exhausted is not None and all(exhausted):
+            return True
+        kth = self.kth_score()
+        if kth is None:
+            return False
+        threshold = self.threshold()
+        if threshold is None:
+            return False
+        return kth >= threshold - SCORE_EPSILON
+
+    def tuples_seen(self) -> tuple[int, ...]:
+        return tuple(state.tuples_seen for state in self._inputs)
+
+
+def hrjn_join_multi(
+    relations: "list[list[ScoredRow]]",
+    function: AggregateFunction,
+    k: int,
+) -> tuple[list[MultiJoinTuple], tuple[int, ...]]:
+    """Run n-way HRJN to completion over in-memory inputs."""
+    operator = MultiWayHRJN(len(relations), function, k)
+    ordered = [
+        sorted(relation, key=lambda r: (-r.score, r.row_key))
+        for relation in relations
+    ]
+    positions = [0] * len(relations)
+
+    def exhausted() -> tuple[bool, ...]:
+        return tuple(
+            positions[i] >= len(ordered[i]) for i in range(len(ordered))
+        )
+
+    index = 0
+    while not operator.terminated(exhausted()):
+        done = exhausted()
+        if all(done):
+            break
+        while done[index]:
+            index = (index + 1) % len(ordered)
+        operator.add(index, ordered[index][positions[index]])
+        positions[index] += 1
+        index = (index + 1) % len(ordered)
+    return operator.results, operator.tuples_seen()

@@ -1,0 +1,57 @@
+"""Shared helpers for index tables.
+
+All three indices live in "one big table" per index kind, with one column
+family per indexed relation signature (§4.1.1), so that index regions for
+the same row-key ranges across relations land on the same node.  Index
+tables are pre-split from a sample of their future row keys so bulk builds
+spread across the cluster, like production HBase bulk loads.
+"""
+
+from __future__ import annotations
+
+from repro.platform import Platform
+from repro.store.table import StoreTable
+
+IJLMR_TABLE = "ijlmr_idx"
+ISL_TABLE = "isl_idx"
+BFHM_TABLE = "bfhm_idx"
+DRJN_TABLE = "drjn_idx"
+
+
+def sample_split_keys(row_keys: "list[str]", pieces: int) -> list[str]:
+    """Evenly spaced split points over the sorted key sample."""
+    if pieces <= 1:
+        return []
+    ordered = sorted(set(row_keys))
+    if len(ordered) < 2 * pieces:
+        return []
+    step = len(ordered) // pieces
+    return [ordered[i * step] for i in range(1, pieces)]
+
+
+def ensure_index_table(
+    platform: Platform,
+    table_name: str,
+    family: str,
+    split_keys: "list[str] | None" = None,
+) -> StoreTable:
+    """Create the index table (pre-split) or add the new family to it."""
+    store = platform.store
+    if not store.has_table(table_name):
+        store.create_table(table_name, {family}, split_keys=split_keys)
+    else:
+        store.backing(table_name).add_family(family)
+    return store.backing(table_name)
+
+
+def family_built(platform: Platform, table_name: str, family: str) -> bool:
+    """True iff the index table already holds data for ``family``."""
+    if not platform.store.has_table(table_name):
+        return False
+    table = platform.store.backing(table_name)
+    if family not in table.families:
+        return False
+    for row in table.all_rows(families={family}):
+        if not row.empty:
+            return True
+    return False

@@ -1,0 +1,162 @@
+"""Multi-way ISL rank join (§3's n-way extension, coordinator-based).
+
+The same ISL index serves any arity: one column family per relation in the
+shared index table, scanned in descending score order.  The coordinator
+round-robins batched scans over all n families, feeding the n-way HRJN
+operator until its generalized threshold fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import MetricsSnapshot
+from repro.common.functions import AggregateFunction, resolve_function
+from repro.common.multiway import MultiJoinTuple
+from repro.core.hrjn_multi import MultiWayHRJN
+from repro.core.isl import DEFAULT_BATCH_FRACTION, ISLRankJoin, _SideCursor
+from repro.errors import QueryError
+from repro.platform import Platform
+from repro.query.spec import RankJoinQuery
+from repro.relational.binding import RelationBinding
+
+
+@dataclass(frozen=True)
+class MultiRankJoinQuery:
+    """An n-way top-k equi-join over a single shared join attribute."""
+
+    inputs: tuple[RelationBinding, ...]
+    function: AggregateFunction
+    k: int
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) < 2:
+            raise QueryError(
+                f"multi-way query needs >= 2 relations, got {len(self.inputs)}"
+            )
+        if self.k <= 0:
+            raise QueryError(f"k must be positive: {self.k}")
+
+    @staticmethod
+    def of(
+        inputs: "list[RelationBinding]",
+        function: "str | AggregateFunction",
+        k: int,
+    ) -> "MultiRankJoinQuery":
+        return MultiRankJoinQuery(tuple(inputs), resolve_function(function), k)
+
+    def pairwise(self, left_index: int = 0, right_index: int = 1) -> RankJoinQuery:
+        """A two-way projection (used to reuse the 2-way index builder)."""
+        if not isinstance(self.function, AggregateFunction):  # pragma: no cover
+            raise QueryError("function must be an AggregateFunction")
+        return RankJoinQuery(
+            self.inputs[left_index], self.inputs[right_index], self.function,
+            self.k,
+        )
+
+
+@dataclass
+class MultiRankJoinResult:
+    """N-way result with its measured costs."""
+
+    algorithm: str
+    k: int
+    tuples: list[MultiJoinTuple]
+    metrics: MetricsSnapshot
+    details: dict[str, float] = field(default_factory=dict)
+
+    def scores(self) -> list[float]:
+        return [t.score for t in self.tuples]
+
+    def recall_against(self, truth: "list[MultiJoinTuple]") -> float:
+        if not truth:
+            return 1.0
+        want = sorted((t.score for t in truth), reverse=True)
+        got = sorted((t.score for t in self.tuples), reverse=True)
+        matched = i = j = 0
+        while i < len(want) and j < len(got):
+            if abs(want[i] - got[j]) <= 1e-9:
+                matched += 1
+                i += 1
+                j += 1
+            elif got[j] > want[i]:
+                j += 1
+            else:
+                i += 1
+        return matched / len(want)
+
+
+class MultiWayISLRankJoin:
+    """ISL generalized to n relations."""
+
+    name = "ISL-nway"
+
+    def __init__(
+        self,
+        platform: Platform,
+        batch_fraction: float = DEFAULT_BATCH_FRACTION,
+        batch_rows: "int | None" = None,
+    ) -> None:
+        self.platform = platform
+        # delegate index builds (and batch sizing) to the 2-way machinery
+        self._builder = ISLRankJoin(platform, batch_fraction, batch_rows)
+
+    def prepare(self, query: MultiRankJoinQuery) -> None:
+        """Build the ISL index family of every input relation."""
+        for index in range(0, len(query.inputs) - 1):
+            self._builder.prepare(query.pairwise(index, index + 1))
+
+    def execute(self, query: MultiRankJoinQuery) -> MultiRankJoinResult:
+        self.prepare(query)
+        before = self.platform.metrics.snapshot()
+
+        arity = len(query.inputs)
+        operator = MultiWayHRJN(arity, query.function, query.k)
+        cursors = [
+            _SideCursor(
+                self.platform,
+                binding.signature,
+                self._builder._batch_rows_for(binding.signature),
+            )
+            for binding in query.inputs
+        ]
+
+        index = 0
+        batches = 0
+        while True:
+            exhausted = tuple(cursor.exhausted for cursor in cursors)
+            if operator.terminated(exhausted):
+                break
+            if all(exhausted):
+                break
+            while cursors[index].exhausted:
+                index = (index + 1) % arity
+            batch = cursors[index].next_batch()
+            batches += 1
+            done = False
+            for position, row in enumerate(batch):
+                operator.add(index, row)
+                drained = position == len(batch) - 1
+                exhausted = tuple(
+                    cursor.exhausted and (i != index or drained)
+                    for i, cursor in enumerate(cursors)
+                )
+                if operator.terminated(exhausted):
+                    done = True
+                    break
+            if done:
+                break
+            index = (index + 1) % arity
+
+        after = self.platform.metrics.snapshot()
+        seen = operator.tuples_seen()
+        return MultiRankJoinResult(
+            algorithm=self.name,
+            k=query.k,
+            tuples=operator.results,
+            metrics=after - before,
+            details={
+                "batches": batches,
+                **{f"tuples_seen_{i}": count for i, count in enumerate(seen)},
+            },
+        )

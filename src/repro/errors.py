@@ -1,0 +1,109 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class StoreError(ReproError):
+    """Base class for NoSQL store errors."""
+
+
+class TableNotFoundError(StoreError):
+    """A table was requested that does not exist in the store."""
+
+    def __init__(self, table_name: str) -> None:
+        super().__init__(f"table not found: {table_name!r}")
+        self.table_name = table_name
+
+
+class TableExistsError(StoreError):
+    """A table was created that already exists."""
+
+    def __init__(self, table_name: str) -> None:
+        super().__init__(f"table already exists: {table_name!r}")
+        self.table_name = table_name
+
+
+class ColumnFamilyNotFoundError(StoreError):
+    """A column family was referenced that is not part of the table schema."""
+
+    def __init__(self, table_name: str, family: str) -> None:
+        super().__init__(
+            f"column family {family!r} not found in table {table_name!r}"
+        )
+        self.table_name = table_name
+        self.family = family
+
+
+class RegionError(StoreError):
+    """A row key fell outside every region, or region metadata is corrupt."""
+
+
+class InvalidMutationError(StoreError):
+    """A Put/Delete was malformed (empty row key, no cells, bad timestamp)."""
+
+
+class FilterError(StoreError):
+    """A server-side filter was misconfigured."""
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce framework errors."""
+
+
+class JobConfigurationError(MapReduceError):
+    """A job was submitted with an invalid or incomplete configuration."""
+
+
+class HDFSError(MapReduceError):
+    """Simulated HDFS failure (missing file, duplicate create, bad path)."""
+
+
+class QueryError(ReproError):
+    """Base class for query-layer errors."""
+
+
+class ParseError(QueryError):
+    """The SQL-like query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        suffix = f" (at position {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class PlanningError(QueryError):
+    """The planner could not produce an execution plan for the query."""
+
+
+class IndexError_(ReproError):
+    """Base class for index build/consistency errors (trailing underscore
+    avoids shadowing the builtin)."""
+
+
+class IndexNotBuiltError(IndexError_):
+    """Query processing was attempted against an index that was never built."""
+
+    def __init__(self, index_name: str) -> None:
+        super().__init__(f"index not built: {index_name!r}")
+        self.index_name = index_name
+
+
+class SketchError(ReproError):
+    """Base class for probabilistic-sketch errors (Bloom filters, Golomb)."""
+
+
+class BitstreamError(SketchError):
+    """A bit stream was read past its end or written inconsistently."""
+
+
+class CounterUnderflowError(SketchError):
+    """A counting Bloom filter was asked to remove an item it never saw."""

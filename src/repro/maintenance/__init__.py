@@ -1,0 +1,6 @@
+"""Online index maintenance (§6)."""
+
+from repro.maintenance.consistency import RetryPolicy, with_retries
+from repro.maintenance.interceptor import MaintainedRelation
+
+__all__ = ["RetryPolicy", "with_retries", "MaintainedRelation"]

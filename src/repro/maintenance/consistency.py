@@ -1,0 +1,57 @@
+"""Eventual-consistency helpers (§6).
+
+"We have opted for eventual consistency ... failed mutations are retried
+until successful and key-value timestamps are used to discern between fresh
+and stale tuples."  :func:`with_retries` wraps a mutation so transient
+failures (injectable, for tests) are retried; because all retried writes
+carry the *original* mutation timestamp, replays are idempotent and later
+writes are never masked by earlier retried ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ReproError
+
+T = TypeVar("T")
+
+
+class MutationFailedError(ReproError):
+    """A mutation exhausted its retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How persistently to retry failed mutations."""
+
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+
+
+def with_retries(
+    mutation: Callable[[], T],
+    policy: RetryPolicy = RetryPolicy(),
+    failure_injector: "Callable[[int], bool] | None" = None,
+) -> T:
+    """Run ``mutation`` until it succeeds or the retry budget is spent.
+
+    ``failure_injector(attempt)`` returning True simulates a transient
+    store failure on that attempt (used by fault-injection tests).
+    """
+    last_error: "Exception | None" = None
+    for attempt in range(policy.max_attempts):
+        if failure_injector is not None and failure_injector(attempt):
+            last_error = MutationFailedError(f"injected failure on attempt {attempt}")
+            continue
+        try:
+            return mutation()
+        except ReproError as error:
+            last_error = error
+    raise MutationFailedError(
+        f"mutation failed after {policy.max_attempts} attempts"
+    ) from last_error

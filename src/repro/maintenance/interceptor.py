@@ -1,0 +1,153 @@
+"""Mutation interception keeping indices in sync with base data (§6).
+
+"Both insertions and deletions are intercepted at the caller level; then,
+the mutation is augmented so as to perform both a base data and an index
+insertion/deletion in one operation, using the original mutation timestamp
+for both operations."
+
+A :class:`MaintainedRelation` wraps one base relation and fans every
+insert/delete out to whichever indices are registered for it: IJLMR and ISL
+rows are mutated directly (they are plain inverted lists), and BFHM goes
+through its update manager (reverse mapping + insertion/tombstone records).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.serialization import encode_float, encode_score_key, encode_str
+from repro.core.bfhm.updates import BFHMUpdateManager
+from repro.core.indexes import IJLMR_TABLE, ISL_TABLE
+from repro.errors import QueryError
+from repro.maintenance.consistency import RetryPolicy, with_retries
+from repro.platform import Platform
+from repro.relational.binding import RelationBinding, row_to_scored
+from repro.store.client import Delete, Put
+
+
+class MaintainedRelation:
+    """Write path of one base relation with synchronized indices."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        binding: RelationBinding,
+        maintain_ijlmr: bool = False,
+        maintain_isl: bool = False,
+        bfhm_manager: "BFHMUpdateManager | None" = None,
+        retry_policy: RetryPolicy = RetryPolicy(),
+        failure_injector=None,
+    ) -> None:
+        self.platform = platform
+        self.binding = binding
+        self.maintain_ijlmr = maintain_ijlmr
+        self.maintain_isl = maintain_isl
+        self.bfhm_manager = bfhm_manager
+        self.retry_policy = retry_policy
+        self.failure_injector = failure_injector
+        self.inserts_applied = 0
+        self.deletes_applied = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _retry(self, mutation) -> Any:
+        return with_retries(mutation, self.retry_policy, self.failure_injector)
+
+    def _encode_column(self, name: str, value: Any) -> bytes:
+        from repro.tpch.loader import FLOAT_COLUMNS
+
+        if name in FLOAT_COLUMNS or isinstance(value, float):
+            return encode_float(float(value))
+        return encode_str(str(value))
+
+    # -- inserts ---------------------------------------------------------------
+
+    def insert(self, row_key: str, record: "dict[str, Any]") -> None:
+        """Insert one record into the base table and all indices, sharing
+        one mutation timestamp."""
+        binding = self.binding
+        if binding.join_column not in record or binding.score_column not in record:
+            raise QueryError(
+                f"record for {row_key!r} lacks join/score columns "
+                f"{binding.join_column!r}/{binding.score_column!r}"
+            )
+        join_value = str(record[binding.join_column])
+        score = float(record[binding.score_column])
+        timestamp = self.platform.ctx.next_timestamp()
+
+        base_put = Put(row_key, timestamp=timestamp)
+        for name, value in record.items():
+            if name == "rowkey":
+                continue
+            base_put.add(binding.family, name, self._encode_column(name, value))
+        htable = self.platform.store.table(binding.table)
+        self._retry(lambda: htable.put(base_put))
+
+        if self.maintain_ijlmr:
+            index_put = Put(join_value, timestamp=timestamp)
+            index_put.add(binding.signature, row_key, encode_float(score))
+            ijlmr = self.platform.store.table(IJLMR_TABLE)
+            self._retry(lambda: ijlmr.put(index_put))
+
+        if self.maintain_isl:
+            index_put = Put(encode_score_key(score), timestamp=timestamp)
+            index_put.add(binding.signature, row_key, encode_str(join_value))
+            isl = self.platform.store.table(ISL_TABLE)
+            self._retry(lambda: isl.put(index_put))
+
+        if self.bfhm_manager is not None:
+            self._retry(
+                lambda: self.bfhm_manager.apply_insert(
+                    binding.signature, row_key, join_value, score, timestamp
+                )
+            )
+        self.inserts_applied += 1
+
+    # -- deletes ------------------------------------------------------------------
+
+    def delete(self, row_key: str) -> bool:
+        """Delete one row from the base table and all indices.
+
+        Returns False (and does nothing) if the row does not exist.
+        """
+        binding = self.binding
+        backing = self.platform.store.backing(binding.table)
+        existing = backing.read_row(row_key, families={binding.family})
+        if existing.empty:
+            return False
+        scored = row_to_scored(binding, existing)
+        timestamp = self.platform.ctx.next_timestamp()
+
+        htable = self.platform.store.table(binding.table)
+        self._retry(
+            lambda: htable.delete(Delete(row_key, timestamp=timestamp))
+        )
+
+        if self.maintain_ijlmr:
+            ijlmr = self.platform.store.table(IJLMR_TABLE)
+            self._retry(
+                lambda: ijlmr.delete(
+                    Delete(scored.join_value, family=binding.signature,
+                           qualifier=row_key, timestamp=timestamp)
+                )
+            )
+
+        if self.maintain_isl:
+            isl = self.platform.store.table(ISL_TABLE)
+            self._retry(
+                lambda: isl.delete(
+                    Delete(encode_score_key(scored.score),
+                           family=binding.signature,
+                           qualifier=row_key, timestamp=timestamp)
+                )
+            )
+
+        if self.bfhm_manager is not None:
+            self._retry(
+                lambda: self.bfhm_manager.apply_delete(
+                    binding.signature, row_key, scored.join_value,
+                    scored.score, timestamp,
+                )
+            )
+        self.deletes_applied += 1
+        return True

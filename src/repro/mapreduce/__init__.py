@@ -1,0 +1,33 @@
+"""A miniature Hadoop: simulated HDFS plus a metered MapReduce engine.
+
+The engine reproduces the cost structure that drives the paper's baseline
+results: per-job startup overhead, locality-aware map tasks (mappers run on
+the node storing their input region/block), combiners, hash or custom
+partitioners, shuffle traffic, replicated HDFS output writes, and per-task
+accounting of the simulated clock, network bytes and KV read units.
+"""
+
+from repro.mapreduce.hdfs import SimHDFS
+from repro.mapreduce.job import (
+    CollectOutput,
+    HDFSInput,
+    HDFSOutput,
+    Job,
+    TableInput,
+    TableOutput,
+    UnionTableInput,
+)
+from repro.mapreduce.runtime import JobResult, JobRunner
+
+__all__ = [
+    "SimHDFS",
+    "CollectOutput",
+    "HDFSInput",
+    "HDFSOutput",
+    "Job",
+    "TableInput",
+    "TableOutput",
+    "UnionTableInput",
+    "JobResult",
+    "JobRunner",
+]

@@ -1,0 +1,306 @@
+"""The MapReduce job runner: scheduling, shuffling, and cost accounting.
+
+Execution follows Hadoop's phases:
+
+1. **Startup** — a fixed per-job charge (dominates small jobs, which is why
+   coordinator algorithms beat MapReduce ones on latency, §4.2).
+2. **Map wave** — one task per input split, scheduled on the split's node
+   (data locality).  Task time = local disk scan + per-record CPU; node
+   time = its tasks serialized over its task slots; wave time = the slowest
+   node.  Table splits charge KV read units per cell scanned.
+3. **Combine** — per-task, reduces shuffle volume.
+4. **Shuffle** — intermediate pairs are partitioned; bytes moving between
+   different nodes are network traffic.
+5. **Reduce** — grouped keys in sorted order; per-reducer memory footprint
+   is tracked (peak grouped bytes), matching the paper's reducer-footprint
+   report in §7.2.
+6. **Output** — HDFS files charge replication traffic, table outputs charge
+   the write path, collected outputs ship to the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.common.serialization import sizeof
+from repro.errors import JobConfigurationError
+from repro.mapreduce.hdfs import SimHDFS
+from repro.mapreduce.job import (
+    CollectOutput,
+    HDFSInput,
+    HDFSOutput,
+    Job,
+    TableInput,
+    TableOutput,
+    TaskContext,
+    UnionTableInput,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulation import Node, SimContext
+    from repro.store.client import Store
+
+
+@dataclass
+class _Split:
+    """One map task's input: records plus placement and size facts."""
+
+    node: "Node"
+    records: list[tuple[Any, Any]]
+    input_bytes: int
+    kv_cells: int  # store cells scanned (0 for HDFS splits)
+
+
+@dataclass
+class JobResult:
+    """Outcome of a job run."""
+
+    job_name: str
+    collected: list[tuple[Any, Any]] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    shuffle_bytes: int = 0
+    sim_time_s: float = 0.0
+
+
+class JobRunner:
+    """Executes jobs against a store + HDFS pair, charging the context."""
+
+    def __init__(self, ctx: "SimContext", store: "Store", hdfs: "SimHDFS") -> None:
+        self.ctx = ctx
+        self.store = store
+        self.hdfs = hdfs
+
+    # -- split computation ---------------------------------------------------
+
+    def _table_splits(self, source: TableInput) -> list[_Split]:
+        return self._splits_of_table(
+            source.table_name,
+            set(source.families) if source.families is not None else None,
+            tag=None,
+        )
+
+    def _splits_of_table(
+        self, table_name: str, families: "set[str] | None", tag: "str | None"
+    ) -> list[_Split]:
+        table = self.store.backing(table_name)
+        splits = []
+        for region in table.regions:
+            rows = region.scan_rows(families=families)
+            if tag is None:
+                records = [(row.row, row) for row in rows]
+            else:
+                records = [(row.row, (tag, row)) for row in rows]
+            input_bytes = sum(row.serialized_size() for row in rows)
+            kv_cells = sum(len(row) for row in rows)
+            splits.append(_Split(region.node, records, input_bytes, kv_cells))
+        return splits
+
+    def _union_splits(self, source: UnionTableInput) -> list[_Split]:
+        families = set(source.families) if source.families is not None else None
+        splits: list[_Split] = []
+        for table_name in source.table_names:
+            splits.extend(self._splits_of_table(table_name, families, tag=table_name))
+        return splits
+
+    def _hdfs_splits(self, source: HDFSInput) -> list[_Split]:
+        splits = []
+        index = 0
+        for block in self.hdfs.blocks(source.path):
+            records = []
+            for record in block.records:
+                records.append((index, record))
+                index += 1
+            splits.append(_Split(block.node, records, block.byte_size, 0))
+        return splits
+
+    # -- phase helpers -----------------------------------------------------------
+
+    def _wave_time(self, task_times: "dict[int, list[float]]") -> float:
+        """Makespan of locality-pinned tasks over per-node slots."""
+        model = self.ctx.cost_model
+        worst = 0.0
+        for times in task_times.values():
+            node_busy = sum(times) / model.task_slots_per_node + (
+                model.mr_task_startup_s
+            )
+            worst = max(worst, node_busy)
+        return worst
+
+    @staticmethod
+    def _group_sorted(pairs: "list[tuple[Any, Any]]") -> "list[tuple[Any, list]]":
+        groups: dict[Any, list] = {}
+        for key, value in pairs:
+            groups.setdefault(key, []).append(value)
+        return sorted(groups.items(), key=lambda item: item[0])
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, job: Job) -> JobResult:
+        """Run ``job`` to completion, advancing the simulated clock."""
+        model = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        result = JobResult(job.name)
+
+        metrics.advance_time(model.mr_job_startup_s)
+
+        if isinstance(job.input_source, TableInput):
+            splits = self._table_splits(job.input_source)
+        elif isinstance(job.input_source, HDFSInput):
+            splits = self._hdfs_splits(job.input_source)
+        elif isinstance(job.input_source, UnionTableInput):
+            splits = self._union_splits(job.input_source)
+        else:  # pragma: no cover - exhaustive over input types
+            raise JobConfigurationError(
+                f"unknown input source: {job.input_source!r}"
+            )
+
+        # ---- map phase ----
+        map_outputs: list[tuple["Node", list[tuple[Any, Any]]]] = []
+        task_times: dict[int, list[float]] = {}
+        for split in splits:
+            if not split.records:
+                continue
+            task = TaskContext()
+            for key, value in split.records:
+                job.map_fn(key, value, task)
+            if job.map_finish_fn is not None:
+                job.map_finish_fn(task)
+            emitted = task.emitted
+            # combiner runs on the task's full output (per-task combine)
+            if job.combiner_fn is not None and emitted:
+                combine = TaskContext()
+                for key, values in self._group_sorted(emitted):
+                    job.combiner_fn(key, values, combine)
+                for name, amount in combine.counters.items():
+                    task.counters[name] = task.counters.get(name, 0.0) + amount
+                emitted = combine.emitted
+
+            metrics.add_kv_reads(split.kv_cells)
+            metrics.add_disk_read(split.input_bytes)
+            task_time = (
+                model.disk_seq_time(split.input_bytes)
+                + model.cpu_time(len(split.records))
+                + model.cpu_time(len(task.emitted))
+            )
+            task_times.setdefault(split.node.node_id, []).append(task_time)
+            map_outputs.append((split.node, emitted))
+            for name, amount in task.counters.items():
+                result.counters[name] = result.counters.get(name, 0.0) + amount
+            result.map_tasks += 1
+
+        metrics.advance_time(self._wave_time(task_times))
+
+        # ---- map-only jobs write directly from mappers ----
+        if job.map_only:
+            all_pairs = [pair for _, pairs in map_outputs for pair in pairs]
+            self._write_output(job, all_pairs, map_outputs, result)
+            result.sim_time_s = metrics.sim_time_s
+            return result
+
+        # ---- shuffle ----
+        workers = self.ctx.cluster.workers
+        reducer_nodes = [workers[r % len(workers)] for r in range(job.num_reducers)]
+        partitions: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(job.num_reducers)
+        ]
+        shuffle_remote_bytes = 0
+        for node, pairs in map_outputs:
+            for key, value in pairs:
+                reducer = job.partition_fn(key, job.num_reducers)
+                partitions[reducer].append((key, value))
+                if reducer_nodes[reducer].node_id != node.node_id:
+                    shuffle_remote_bytes += sizeof(key) + sizeof(value)
+        metrics.add_network(shuffle_remote_bytes)
+        metrics.advance_time(model.network_time(shuffle_remote_bytes))
+        result.shuffle_bytes = shuffle_remote_bytes
+
+        # ---- reduce phase ----
+        reduce_outputs: list[tuple["Node", list[tuple[Any, Any]]]] = []
+        reduce_times: dict[int, list[float]] = {}
+        for reducer_index, pairs in enumerate(partitions):
+            if not pairs:
+                continue
+            node = reducer_nodes[reducer_index]
+            task = TaskContext()
+            grouped = self._group_sorted(pairs)
+            grouped_bytes = sum(
+                sizeof(key) + sum(sizeof(v) for v in values)
+                for key, values in grouped
+            )
+            metrics.record_peak("reducer_peak_bytes", grouped_bytes)
+            for key, values in grouped:
+                job.reduce_fn(key, values, task)  # type: ignore[misc]
+            reduce_times.setdefault(node.node_id, []).append(
+                model.cpu_time(len(pairs)) + model.cpu_time(len(task.emitted))
+            )
+            reduce_outputs.append((node, task.emitted))
+            for name, amount in task.counters.items():
+                result.counters[name] = result.counters.get(name, 0.0) + amount
+            result.reduce_tasks += 1
+
+        metrics.advance_time(self._wave_time(reduce_times))
+
+        all_pairs = [pair for _, pairs in reduce_outputs for pair in pairs]
+        self._write_output(job, all_pairs, reduce_outputs, result)
+        result.sim_time_s = metrics.sim_time_s
+        return result
+
+    # -- outputs ------------------------------------------------------------------
+
+    def _write_output(
+        self,
+        job: Job,
+        all_pairs: "list[tuple[Any, Any]]",
+        placed_outputs: "list[tuple[Node, list[tuple[Any, Any]]]]",
+        result: JobResult,
+    ) -> None:
+        model = self.ctx.cost_model
+        metrics = self.ctx.metrics
+        output = job.output
+
+        if isinstance(output, CollectOutput):
+            # ship to the driver on the master node
+            remote = sum(
+                sizeof(k) + sizeof(v)
+                for node, pairs in placed_outputs
+                for k, v in pairs
+            )
+            metrics.add_network(remote)
+            metrics.advance_time(model.network_time(remote))
+            result.collected = all_pairs
+            return
+
+        if isinstance(output, HDFSOutput):
+            self.hdfs.delete_if_exists(output.path)
+            self.hdfs.write_file(output.path, [list(pair) for pair in all_pairs])
+            return
+
+        if isinstance(output, TableOutput):
+            table = self.store.backing(output.table_name)
+            payload = 0
+            for node, pairs in placed_outputs:
+                for _, put in pairs:
+                    timestamp = (
+                        put.timestamp
+                        if put.timestamp is not None
+                        else self.ctx.next_timestamp()
+                    )
+                    from repro.store.cell import Cell
+
+                    for family, qualifier, value in put.cells:
+                        cell = Cell(put.row, family, qualifier, value, timestamp)
+                        payload += cell.serialized_size()
+                        table.apply(cell)
+            # task -> region server transfer (+ WAL replication copies,
+            # unless the output skips the WAL like HBase temp tables)
+            copies = 1 if output.skip_wal else model.hdfs_replication
+            remote = payload * copies
+            metrics.add_network(remote)
+            metrics.advance_time(model.network_time(remote))
+            table.flush_all()
+            return
+
+        raise JobConfigurationError(f"unknown output sink: {output!r}")

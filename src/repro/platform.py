@@ -1,0 +1,37 @@
+"""The Platform: one simulated deployment bundling store, HDFS and MapReduce.
+
+Everything the paper's stack needs — an HBase-like store over a cluster, a
+simulated HDFS, and a MapReduce runner — wired to a single cost model and
+metrics collector.  Algorithms and benchmarks receive a Platform and charge
+all their work to it.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.costmodel import CostModel, EC2_PROFILE
+from repro.cluster.simulation import SimContext
+from repro.mapreduce.hdfs import SimHDFS
+from repro.mapreduce.runtime import JobRunner
+from repro.store.client import Store
+
+
+class Platform:
+    """A complete simulated deployment."""
+
+    def __init__(self, cost_model: CostModel = EC2_PROFILE) -> None:
+        self.ctx = SimContext.with_profile(cost_model)
+        self.store = Store(self.ctx)
+        self.hdfs = SimHDFS(self.ctx)
+        self.runner = JobRunner(self.ctx, self.store, self.hdfs)
+
+    @property
+    def metrics(self):
+        return self.ctx.metrics
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self.ctx.cost_model
+
+    def reset_metrics(self) -> None:
+        """Zero the meters (data and indices stay loaded)."""
+        self.ctx.metrics.reset()

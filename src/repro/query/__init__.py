@@ -1,0 +1,7 @@
+"""Query layer: specs, results, SQL-dialect parsing, and the engine facade."""
+
+from repro.query.parser import parse_rank_join
+from repro.query.results import RankJoinResult
+from repro.query.spec import RankJoinQuery
+
+__all__ = ["parse_rank_join", "RankJoinResult", "RankJoinQuery"]

@@ -1,0 +1,81 @@
+"""The engine facade: one object, every algorithm, SQL in, results out.
+
+Downstream users get a single entry point::
+
+    platform = Platform(EC2_PROFILE)
+    load_tpch(platform.store, generate(micro_scale=1.0))
+    engine = RankJoinEngine(platform)
+    result = engine.sql("SELECT * FROM part P, lineitem L "
+                        "WHERE P.partkey = L.partkey "
+                        "ORDER BY P.retailprice * L.extendedprice "
+                        "STOP AFTER 10", algorithm="bfhm")
+"""
+
+from __future__ import annotations
+
+from repro.baselines.drjn import DRJNRankJoin
+from repro.baselines.hive import HiveRankJoin
+from repro.baselines.pig import PigRankJoin
+from repro.core.base import RankJoinAlgorithm
+from repro.core.bfhm.algorithm import BFHMRankJoin
+from repro.core.ijlmr import IJLMRRankJoin
+from repro.core.isl import ISLRankJoin
+from repro.errors import PlanningError
+from repro.platform import Platform
+from repro.query.parser import parse_rank_join
+from repro.query.results import RankJoinResult
+from repro.query.spec import RankJoinQuery
+
+#: algorithm name -> factory; lowercase keys
+ALGORITHM_FACTORIES = {
+    "hive": HiveRankJoin,
+    "pig": PigRankJoin,
+    "ijlmr": IJLMRRankJoin,
+    "isl": ISLRankJoin,
+    "bfhm": BFHMRankJoin,
+    "drjn": DRJNRankJoin,
+}
+
+
+class RankJoinEngine:
+    """Holds one instance of every algorithm over a shared platform."""
+
+    def __init__(self, platform: Platform, **algorithm_kwargs) -> None:
+        self.platform = platform
+        self._algorithms: dict[str, RankJoinAlgorithm] = {}
+        self._algorithm_kwargs = algorithm_kwargs
+
+    def algorithm(self, name: str) -> RankJoinAlgorithm:
+        """The (cached) algorithm instance for ``name``."""
+        key = name.lower()
+        if key in self._algorithms:  # explicitly registered instances win
+            return self._algorithms[key]
+        if key not in ALGORITHM_FACTORIES:
+            raise PlanningError(
+                f"unknown algorithm {name!r}; choose from "
+                f"{sorted(ALGORITHM_FACTORIES)}"
+            )
+        kwargs = self._algorithm_kwargs.get(key, {})
+        self._algorithms[key] = ALGORITHM_FACTORIES[key](self.platform, **kwargs)
+        return self._algorithms[key]
+
+    def register(self, name: str, algorithm: RankJoinAlgorithm) -> None:
+        """Plug in a custom or specially configured algorithm instance."""
+        self._algorithms[name.lower()] = algorithm
+
+    def execute(self, query: RankJoinQuery, algorithm: str = "bfhm") -> RankJoinResult:
+        """Run a bound query with the chosen algorithm."""
+        return self.algorithm(algorithm).execute(query)
+
+    def sql(self, text: str, algorithm: str = "bfhm", family: str = "d") -> RankJoinResult:
+        """Parse and run a SQL-dialect query (§1.1 syntax)."""
+        return self.execute(parse_rank_join(text, family=family), algorithm)
+
+    def prepare(self, query: RankJoinQuery, algorithms: "list[str] | None" = None):
+        """Pre-build indices for a query across algorithms; returns the
+        build reports (the Fig. 9 measurement)."""
+        names = algorithms or ["ijlmr", "isl", "bfhm", "drjn"]
+        reports = []
+        for name in names:
+            reports.extend(self.algorithm(name).prepare(query))
+        return reports

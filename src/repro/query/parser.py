@@ -1,0 +1,392 @@
+"""Parser for the paper's SQL dialect (§1.1).
+
+Grammar (two-way rank joins; whitespace-insensitive, case-insensitive
+keywords)::
+
+    query      := SELECT select_list
+                  FROM table alias "," table alias
+                  WHERE alias "." column "=" alias "." column
+                  ORDER BY score_expr
+                  STOP AFTER integer
+    select_list := "*" | alias "." column ("," alias "." column)*
+    score_expr := sum_expr
+    sum_expr   := mul_expr (("+") mul_expr)*
+    mul_expr   := atom (("*") atom)*
+    atom       := NUMBER | alias "." column
+                  | ("MAX"|"MIN") "(" alias.column "," alias.column ")"
+                  | "(" sum_expr ")"
+
+The score expression must reduce to a monotone aggregate of exactly one
+score column per relation: ``A.x * B.y`` (product), ``A.x + B.y`` (sum),
+``c1*A.x + c2*B.y`` (weighted sum), or ``MAX/MIN(A.x, B.y)``.  Both of the
+paper's evaluation queries (Q1 product, Q2 sum) parse as-is.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.functions import (
+    AggregateFunction,
+    MaxFunction,
+    MinFunction,
+    ProductFunction,
+    SumFunction,
+    WeightedSumFunction,
+)
+from repro.errors import ParseError
+from repro.query.spec import RankJoinQuery
+from repro.relational.binding import RelationBinding
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+(?:\.\d+)?)"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol>[(),.*+=]))"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "order", "by", "stop", "after", "max", "min",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # "number" | "word" | "symbol"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(
+                f"unexpected character {remainder[0]!r}", position
+            )
+        position = match.end()
+        for kind in ("number", "word", "symbol"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value, match.start(kind)))
+                break
+    return tokens
+
+
+@dataclass(frozen=True)
+class _ColumnRef:
+    alias: str
+    column: str
+
+
+@dataclass(frozen=True)
+class _Term:
+    """``coefficient * column`` — the building block of score expressions."""
+
+    coefficient: float
+    column: "_ColumnRef | None"  # None for pure constants
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> "_Token | None":
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text))
+        self.index += 1
+        return token
+
+    def _expect_word(self, word: str) -> None:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() != word:
+            raise ParseError(f"expected {word.upper()!r}, got {token.text!r}",
+                             token.position)
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._next()
+        if token.kind != "symbol" or token.text != symbol:
+            raise ParseError(
+                f"expected {symbol!r}, got {token.text!r}", token.position
+            )
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token.kind != "word" or token.text.lower() in _KEYWORDS:
+            raise ParseError(
+                f"expected identifier, got {token.text!r}", token.position
+            )
+        return token.text
+
+    def _at_word(self, word: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "word"
+            and token.text.lower() == word
+        )
+
+    def _at_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "symbol" and token.text == symbol
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> "ParsedQuery":
+        self._expect_word("select")
+        select_list = self._select_list()
+        self._expect_word("from")
+        tables = self._from_clause()
+        self._expect_word("where")
+        join_left, join_right = self._where_clause()
+        self._expect_word("order")
+        self._expect_word("by")
+        function, score_columns = self._score_expression()
+        self._expect_word("stop")
+        self._expect_word("after")
+        k = self._integer()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(
+                f"trailing input after STOP AFTER: {token.text!r}",  # type: ignore[union-attr]
+                token.position,  # type: ignore[union-attr]
+            )
+        return ParsedQuery(select_list, tables, (join_left, join_right),
+                           function, score_columns, k)
+
+    def _select_list(self) -> "list[_ColumnRef] | None":
+        if self._at_symbol("*"):
+            self._next()
+            return None
+        columns = [self._column_ref()]
+        while self._at_symbol(","):
+            self._next()
+            columns.append(self._column_ref())
+        return columns
+
+    def _from_clause(self) -> dict[str, str]:
+        tables: dict[str, str] = {}
+        while True:
+            table = self._identifier()
+            alias = table
+            token = self._peek()
+            if token is not None and token.kind == "word" and token.text.lower() not in _KEYWORDS:
+                alias = self._identifier()
+            if alias in tables:
+                raise ParseError(f"duplicate alias {alias!r}")
+            tables[alias] = table
+            if self._at_symbol(","):
+                self._next()
+                continue
+            break
+        if len(tables) != 2:
+            raise ParseError(
+                f"exactly two relations are supported, got {len(tables)}"
+            )
+        return tables
+
+    def _column_ref(self) -> _ColumnRef:
+        alias = self._identifier()
+        self._expect_symbol(".")
+        column = self._identifier()
+        return _ColumnRef(alias, column)
+
+    def _where_clause(self) -> tuple[_ColumnRef, _ColumnRef]:
+        left = self._column_ref()
+        self._expect_symbol("=")
+        right = self._column_ref()
+        if left.alias == right.alias:
+            raise ParseError("join condition must relate the two relations")
+        return left, right
+
+    def _integer(self) -> int:
+        token = self._next()
+        if token.kind != "number" or "." in token.text:
+            raise ParseError(f"expected integer, got {token.text!r}", token.position)
+        value = int(token.text)
+        if value <= 0:
+            raise ParseError(f"STOP AFTER must be positive, got {value}")
+        return value
+
+    # -- score expression ------------------------------------------------------
+
+    def _score_expression(self) -> tuple[AggregateFunction, dict[str, str]]:
+        if self._at_word("max") or self._at_word("min"):
+            kind = self._next().text.lower()
+            self._expect_symbol("(")
+            first = self._column_ref()
+            self._expect_symbol(",")
+            second = self._column_ref()
+            self._expect_symbol(")")
+            if first.alias == second.alias:
+                raise ParseError(
+                    "score expression must use one column per relation"
+                )
+            function = MaxFunction() if kind == "max" else MinFunction()
+            return function, {first.alias: first.column, second.alias: second.column}
+        terms = self._sum_expr()
+        return _terms_to_function(terms)
+
+    def _sum_expr(self) -> list[list[_Term]]:
+        """List of additive groups, each a list of multiplied terms."""
+        groups = [self._mul_expr()]
+        while self._at_symbol("+"):
+            self._next()
+            groups.append(self._mul_expr())
+        return groups
+
+    def _mul_expr(self) -> list[_Term]:
+        factors = [self._atom()]
+        while self._at_symbol("*"):
+            self._next()
+            factors.append(self._atom())
+        return factors
+
+    def _atom(self) -> _Term:
+        if self._at_symbol("("):
+            self._next()
+            groups = self._sum_expr()
+            self._expect_symbol(")")
+            if len(groups) != 1 or len(groups[0]) != 1:
+                raise ParseError(
+                    "nested additive expressions are not supported in "
+                    "score functions"
+                )
+            return groups[0][0]
+        token = self._peek()
+        if token is not None and token.kind == "number":
+            self._next()
+            return _Term(float(token.text), None)
+        column = self._column_ref()
+        return _Term(1.0, column)
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """Raw parse product, prior to binding against a catalog."""
+
+    select_list: "list[_ColumnRef] | None"
+    tables: dict[str, str]  # alias -> table name
+    join_columns: tuple[_ColumnRef, _ColumnRef]
+    function: AggregateFunction
+    score_columns: dict[str, str]  # alias -> score column
+    k: int
+
+
+def _terms_to_function(
+    groups: "list[list[_Term]]",
+) -> tuple[AggregateFunction, dict[str, str]]:
+    """Classify a parsed arithmetic expression as a monotone aggregate."""
+    # collapse each multiplicative group into (coefficient, columns)
+    collapsed: list[tuple[float, list[_ColumnRef]]] = []
+    for factors in groups:
+        coefficient = 1.0
+        columns: list[_ColumnRef] = []
+        for term in factors:
+            coefficient *= term.coefficient
+            if term.column is not None:
+                columns.append(term.column)
+        collapsed.append((coefficient, columns))
+
+    if len(collapsed) == 1:
+        coefficient, columns = collapsed[0]
+        if len(columns) != 2 or columns[0].alias == columns[1].alias:
+            raise ParseError(
+                "product score expression must multiply one column from "
+                "each relation"
+            )
+        if coefficient != 1.0:
+            raise ParseError(
+                "scaled products are not monotone-normalized; drop the "
+                "constant factor"
+            )
+        return ProductFunction(), {c.alias: c.column for c in columns}
+
+    if len(collapsed) == 2:
+        aliases: dict[str, str] = {}
+        weights: list[float] = []
+        for coefficient, columns in collapsed:
+            if len(columns) != 1:
+                raise ParseError(
+                    "each additive term must reference exactly one column"
+                )
+            column = columns[0]
+            if column.alias in aliases:
+                raise ParseError(
+                    "score expression must use one column per relation"
+                )
+            aliases[column.alias] = column.column
+            weights.append(coefficient)
+        if weights == [1.0, 1.0]:
+            return SumFunction(), aliases
+        return WeightedSumFunction(weights), aliases
+
+    raise ParseError(
+        f"score expression has {len(collapsed)} additive terms; "
+        "two-way rank joins need exactly one per relation"
+    )
+
+
+def parse_rank_join(
+    text: str,
+    family: str = "d",
+    join_column_overrides: "dict[str, str] | None" = None,
+) -> RankJoinQuery:
+    """Parse query text into a bound :class:`RankJoinQuery`.
+
+    The weighted-sum case must keep weights aligned with the (left, right)
+    relation order of the FROM clause, so the parser re-orders them here.
+    """
+    parsed = _Parser(text).parse()
+    aliases = list(parsed.tables)
+    left_alias, right_alias = aliases[0], aliases[1]
+
+    join_by_alias = {ref.alias: ref.column for ref in parsed.join_columns}
+    for alias in (left_alias, right_alias):
+        if alias not in join_by_alias:
+            raise ParseError(f"join condition does not cover alias {alias!r}")
+        if alias not in parsed.score_columns:
+            raise ParseError(f"score expression does not cover alias {alias!r}")
+
+    function = parsed.function
+    if isinstance(function, WeightedSumFunction):
+        # weights were collected in expression order; re-align to FROM order
+        expression_aliases = list(parsed.score_columns)
+        if expression_aliases != [left_alias, right_alias]:
+            function = WeightedSumFunction(
+                [function.weights[expression_aliases.index(left_alias)],
+                 function.weights[expression_aliases.index(right_alias)]]
+            )
+
+    overrides = join_column_overrides or {}
+
+    def binding(alias: str) -> RelationBinding:
+        return RelationBinding(
+            table=parsed.tables[alias],
+            join_column=overrides.get(alias, join_by_alias[alias]),
+            score_column=parsed.score_columns[alias],
+            family=family,
+            alias=alias,
+        )
+
+    return RankJoinQuery(
+        left=binding(left_alias),
+        right=binding(right_alias),
+        function=function,
+        k=parsed.k,
+    )

@@ -1,0 +1,56 @@
+"""The rank-join query specification (§1.1).
+
+::
+
+    SELECT select-list FROM R1, R2
+    WHERE equi-join-expression(R1, R2)
+    ORDER BY f(R1, R2) STOP AFTER k
+
+captured as two :class:`~repro.relational.binding.RelationBinding` inputs, a
+monotone :class:`~repro.common.functions.AggregateFunction`, and ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.functions import AggregateFunction, resolve_function
+from repro.errors import QueryError
+from repro.relational.binding import RelationBinding
+
+
+@dataclass(frozen=True)
+class RankJoinQuery:
+    """A two-way top-k equi-join (§3: multi-way extension is mechanical)."""
+
+    left: RelationBinding
+    right: RelationBinding
+    function: AggregateFunction
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise QueryError(f"k must be positive: {self.k}")
+
+    @staticmethod
+    def of(
+        left: RelationBinding,
+        right: RelationBinding,
+        function: "str | AggregateFunction",
+        k: int,
+    ) -> "RankJoinQuery":
+        """Convenience constructor accepting a function name."""
+        return RankJoinQuery(left, right, resolve_function(function), k)
+
+    def with_k(self, k: int) -> "RankJoinQuery":
+        """Same query, different result size (used by k-sweeps and the
+        BFHM recall-repair loop's k + (k - k') restarts)."""
+        return RankJoinQuery(self.left, self.right, self.function, k)
+
+    @property
+    def description(self) -> str:
+        return (
+            f"top-{self.k} {self.left.display_name} ⋈ "
+            f"{self.right.display_name} on {self.left.join_column}"
+            f"={self.right.join_column} by {self.function.name}"
+        )

@@ -1,0 +1,11 @@
+"""Relation bindings and the naive ground-truth rank join."""
+
+from repro.relational.binding import RelationBinding, load_relation, row_to_scored
+from repro.relational.naive import naive_rank_join
+
+__all__ = [
+    "RelationBinding",
+    "load_relation",
+    "row_to_scored",
+    "naive_rank_join",
+]

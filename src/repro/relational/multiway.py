@@ -1,0 +1,46 @@
+"""Naive n-way rank join — the multi-way ground truth."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.common.functions import AggregateFunction
+from repro.common.multiway import MultiJoinTuple, combine_rows, top_k_multi
+from repro.common.types import ScoredRow
+from repro.errors import QueryError
+
+
+def full_join_multi(
+    relations: "Sequence[Iterable[ScoredRow]]",
+    function: AggregateFunction,
+) -> list[MultiJoinTuple]:
+    """The complete n-way equi-join with aggregate scores."""
+    if len(relations) < 2:
+        raise QueryError(f"multi-way join needs >= 2 relations, got {len(relations)}")
+    by_value: list[dict[str, list[ScoredRow]]] = []
+    for relation in relations:
+        index: dict[str, list[ScoredRow]] = defaultdict(list)
+        for row in relation:
+            index[row.join_value].append(row)
+        by_value.append(index)
+
+    common_values = set(by_value[0])
+    for index in by_value[1:]:
+        common_values &= set(index)
+
+    results: list[MultiJoinTuple] = []
+    for value in common_values:
+        for rows in product(*(index[value] for index in by_value)):
+            results.append(combine_rows(rows, function))
+    return results
+
+
+def naive_rank_join_multi(
+    relations: "Sequence[Iterable[ScoredRow]]",
+    function: AggregateFunction,
+    k: int,
+) -> list[MultiJoinTuple]:
+    """Ground-truth n-way top-k join result."""
+    return top_k_multi(full_join_multi(relations, function), k)

@@ -1,0 +1,56 @@
+"""The naive rank join: full join, then rank, then cut (§1.1).
+
+"A naive approach would first compute the join result, then rank and select
+the top-k tuples" — this is both the semantic definition of the query and
+the ground truth every algorithm's recall is validated against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.common.functions import AggregateFunction
+from repro.common.types import JoinTuple, ScoredRow, top_k_sorted
+
+
+def full_join(
+    left: Iterable[ScoredRow],
+    right: Iterable[ScoredRow],
+    function: AggregateFunction,
+) -> list[JoinTuple]:
+    """The complete equi-join result with aggregate scores."""
+    by_value: dict[str, list[ScoredRow]] = defaultdict(list)
+    for row in right:
+        by_value[row.join_value].append(row)
+    results: list[JoinTuple] = []
+    for lrow in left:
+        for rrow in by_value.get(lrow.join_value, ()):
+            results.append(
+                JoinTuple(
+                    left_key=lrow.row_key,
+                    right_key=rrow.row_key,
+                    join_value=lrow.join_value,
+                    score=function(lrow.score, rrow.score),
+                    left_score=lrow.score,
+                    right_score=rrow.score,
+                )
+            )
+    return results
+
+
+def naive_rank_join(
+    left: Iterable[ScoredRow],
+    right: Iterable[ScoredRow],
+    function: AggregateFunction,
+    k: int,
+) -> list[JoinTuple]:
+    """Ground-truth top-k join result, deterministically ordered."""
+    return top_k_sorted(full_join(left, right, function), k)
+
+
+def kth_score(results: list[JoinTuple], k: int) -> "float | None":
+    """Score of the k-th tuple of a sorted result list, if it exists."""
+    if len(results) < k:
+        return None
+    return results[k - 1].score

@@ -1,0 +1,99 @@
+"""Bit-level writer/reader used by the Golomb coder.
+
+The BFHM stores its per-bucket filter as a Golomb-compressed "blob"
+(§5.1); the blob's byte size is what the bandwidth and storage accounting
+sees, so the bit stream must be a real, byte-backed encoding rather than a
+Python object pretending to be one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits most-significant-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0
+        self._bit_count = 0
+
+    @property
+    def bit_count(self) -> int:
+        """Number of bits written so far."""
+        return self._bit_count
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._current = (self._current << 1) | (bit & 1)
+        self._filled += 1
+        self._bit_count += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise BitstreamError(f"negative bit width: {width}")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero."""
+        if value < 0:
+            raise BitstreamError(f"cannot unary-encode negative {value}")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Return the written bits padded with zeros to a byte boundary."""
+        result = bytearray(self._buffer)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+
+class BitReader:
+    """Reads bits most-significant-first from a byte buffer."""
+
+    def __init__(self, data: bytes, bit_count: "int | None" = None) -> None:
+        self._data = data
+        self._limit = len(data) * 8 if bit_count is None else bit_count
+        if self._limit > len(data) * 8:
+            raise BitstreamError(
+                f"bit_count {self._limit} exceeds buffer of {len(data)} bytes"
+            )
+        self._position = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return self._limit - self._position
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises :class:`BitstreamError` past the end."""
+        if self._position >= self._limit:
+            raise BitstreamError("read past end of bit stream")
+        byte = self._data[self._position // 8]
+        bit = (byte >> (7 - self._position % 8)) & 1
+        self._position += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary-coded value (count of ones before the first zero)."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count

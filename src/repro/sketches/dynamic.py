@@ -1,0 +1,164 @@
+"""Dynamic Bloom filters — the paper's §8 future-work extension.
+
+"Immediate future plans include the adoption of dynamic Bloom filters to
+further improve the time and bandwidth performance of BFHM Rank Join."
+
+A :class:`DynamicBloomFilter` (Guo et al.-style) is a chain of fixed-size
+single-hash slices.  Inserts go to the newest slice; when it reaches its
+design capacity a fresh slice is opened.  Two benefits for BFHM buckets:
+
+* **bounded per-slice load** — a static single-hash filter sized for the
+  design capacity degrades steadily as a bucket overpopulates (its probe
+  probability, hence the α correction's variance, grows with every
+  insert), while every dynamic slice stays at its design point;
+* **incremental time/bandwidth** (the §8 performance motivation) — an
+  online insert touches only the *active* slice, so §6 write-backs
+  re-encode and ship one small slice blob instead of the whole bucket
+  blob, and replicas/coordinators can cache frozen slices.
+
+All slices share one bit width, so bit positions remain comparable across
+slices and across filters — the property BFHM's bitwise-AND bucket join
+and reverse-mapping keys rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CounterUnderflowError, SketchError
+from repro.sketches.hybrid import HybridBlob, HybridBloomFilter
+
+
+class DynamicBloomFilter:
+    """A growable chain of single-hash counting slices."""
+
+    def __init__(self, slice_bits: int, slice_capacity: int) -> None:
+        if slice_bits <= 0:
+            raise SketchError(f"slice_bits must be positive: {slice_bits}")
+        if slice_capacity <= 0:
+            raise SketchError(
+                f"slice_capacity must be positive: {slice_capacity}"
+            )
+        self.slice_bits = slice_bits
+        self.slice_capacity = slice_capacity
+        self.slices: list[HybridBloomFilter] = [HybridBloomFilter(slice_bits)]
+
+    @classmethod
+    def for_fp_rate(cls, slice_capacity: int, fp_rate: float) -> "DynamicBloomFilter":
+        """Slices sized so each stays at ``fp_rate`` when full."""
+        from repro.sketches.bloom import single_hash_bit_count
+
+        return cls(single_hash_bit_count(slice_capacity, fp_rate), slice_capacity)
+
+    # -- mutation --------------------------------------------------------------
+
+    @property
+    def item_count(self) -> int:
+        return sum(s.item_count for s in self.slices)
+
+    def insert(self, item: "bytes | str") -> int:
+        """Insert into the active slice; returns the bit position (shared
+        across slices, so reverse mappings stay valid)."""
+        active = self.slices[-1]
+        if active.item_count >= self.slice_capacity:
+            active = HybridBloomFilter(self.slice_bits)
+            self.slices.append(active)
+        return active.insert(item)
+
+    def remove(self, item: "bytes | str") -> None:
+        """Remove one occurrence (newest slice holding it wins)."""
+        for candidate in reversed(self.slices):
+            if item in candidate:
+                candidate.remove(item)
+                return
+        raise CounterUnderflowError(f"item not present: {item!r}")
+
+    def __contains__(self, item: "bytes | str") -> bool:
+        return any(item in s for s in self.slices)
+
+    def count(self, item: "bytes | str") -> int:
+        """Upper bound on multiplicity, summed over slices."""
+        return sum(s.count(item) for s in self.slices if item in s)
+
+    def position(self, item: "bytes | str") -> int:
+        return self.slices[0].position(item)
+
+    # -- statistics -------------------------------------------------------------
+
+    def effective_fp_rate(self) -> float:
+        """1 - Π(1 - PT_slice): a probe is false-positive if any slice
+        falsely matches.  Bounded because each slice caps its load."""
+        survive = 1.0
+        for s in self.slices:
+            survive *= 1.0 - s.probe_probability()
+        return 1.0 - survive
+
+    def merged_counters(self) -> dict[int, int]:
+        """Per-position counters aggregated over slices (for bucket joins)."""
+        merged: dict[int, int] = {}
+        for s in self.slices:
+            for position, count in s.counters.items():
+                merged[position] = merged.get(position, 0) + count
+        return merged
+
+    def intersect_positions(self, other: "DynamicBloomFilter | HybridBloomFilter") -> list[int]:
+        """Common set-bit positions with another (dynamic or static) filter
+        of the same bit width."""
+        other_bits = (
+            other.slice_bits if isinstance(other, DynamicBloomFilter)
+            else other.bit_count
+        )
+        if other_bits != self.slice_bits:
+            raise SketchError(
+                "cannot intersect filters of different widths: "
+                f"{self.slice_bits} vs {other_bits}"
+            )
+        mine = self.merged_counters()
+        theirs = (
+            other.merged_counters() if isinstance(other, DynamicBloomFilter)
+            else other.counters
+        )
+        return sorted(p for p in mine if p in theirs)
+
+    def join_cardinality(self, other: "DynamicBloomFilter") -> float:
+        """α-compensated join-size estimate (the Alg. 7 arithmetic with the
+        chain's effective FP rates)."""
+        common = self.intersect_positions(other)
+        if not common:
+            return 0.0
+        mine = self.merged_counters()
+        theirs = other.merged_counters()
+        raw = sum(mine[p] * theirs[p] for p in common)
+        alpha = (1.0 - self.effective_fp_rate()) * (
+            1.0 - other.effective_fp_rate()
+        )
+        return raw * alpha
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_blobs(self) -> list[HybridBlob]:
+        """One Golomb blob per slice (shipped/stored like BFHM blobs)."""
+        return [s.to_blob() for s in self.slices]
+
+    @classmethod
+    def from_blobs(
+        cls, blobs: "list[HybridBlob]", slice_capacity: int
+    ) -> "DynamicBloomFilter":
+        if not blobs:
+            raise SketchError("at least one slice blob required")
+        instance = cls(blobs[0].bit_count, slice_capacity)
+        instance.slices = [HybridBloomFilter.from_blob(blob) for blob in blobs]
+        return instance
+
+    def serialized_size(self) -> int:
+        return sum(blob.serialized_size() for blob in self.to_blobs())
+
+
+def static_overload_fp_rate(design_capacity: int, actual_items: int, fp_rate: float) -> float:
+    """What a *static* single-hash filter's probe probability degrades to
+    when a bucket designed for ``design_capacity`` holds ``actual_items``
+    (the §8 motivation for going dynamic)."""
+    from repro.sketches.bloom import single_hash_bit_count
+
+    bits = single_hash_bit_count(design_capacity, fp_rate)
+    return 1.0 - math.exp(-actual_items / bits)

@@ -1,0 +1,117 @@
+"""Golomb coding of non-negative integers (Golomb, 1966).
+
+The BFHM bucket blob (§5.1) stores the set-bit positions of a very sparse
+single-hash Bloom filter and the associated counters.  Raw single-hash
+filters would be enormous ("single hash function Bloom filters can grow very
+large in space and are thus impractical otherwise"), so the paper compresses
+both with Golomb coding — the optimal prefix code for geometrically
+distributed gaps, which is exactly the distribution of gaps between set bits
+of a sparse random bitmap.
+
+``golomb_encode`` writes each value as ``q`` in unary and ``r`` in truncated
+binary, with ``q, r = divmod(value, parameter)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BitstreamError
+from repro.sketches.bitio import BitReader, BitWriter
+
+
+def optimal_golomb_parameter(probability: float) -> int:
+    """Optimal Golomb parameter ``M`` for gap probability ``p``.
+
+    For a bitmap where each bit is set independently with probability ``p``,
+    gaps are geometric and the optimal parameter is
+    ``M = ceil(-1 / log2(1 - p))`` (Gallager & Van Voorhis).  Degenerate
+    probabilities fall back to ``M = 1``.
+    """
+    if probability <= 0.0 or probability >= 1.0:
+        return 1
+    denominator = -math.log2(1.0 - probability)
+    if denominator <= 0.0:
+        return 1
+    return max(1, math.ceil(1.0 / denominator))
+
+
+def _write_golomb(writer: BitWriter, value: int, parameter: int) -> None:
+    quotient, remainder = divmod(value, parameter)
+    writer.write_unary(quotient)
+    if parameter == 1:
+        return
+    # truncated binary encoding of the remainder
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    if remainder < cutoff:
+        writer.write_bits(remainder, width - 1)
+    else:
+        writer.write_bits(remainder + cutoff, width)
+
+
+def _read_golomb(reader: BitReader, parameter: int) -> int:
+    quotient = reader.read_unary()
+    if parameter == 1:
+        return quotient
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    remainder = reader.read_bits(width - 1)
+    if remainder >= cutoff:
+        remainder = (remainder << 1) | reader.read_bit()
+        remainder -= cutoff
+    return quotient * parameter + remainder
+
+
+def golomb_encode(values: "list[int]", parameter: int) -> tuple[bytes, int]:
+    """Encode non-negative integers; returns ``(payload, bit_count)``.
+
+    ``bit_count`` is needed to decode exactly (the payload is padded to a
+    byte boundary).
+    """
+    if parameter <= 0:
+        raise BitstreamError(f"Golomb parameter must be positive: {parameter}")
+    writer = BitWriter()
+    for value in values:
+        if value < 0:
+            raise BitstreamError(f"cannot Golomb-encode negative value {value}")
+        _write_golomb(writer, value, parameter)
+    return writer.getvalue(), writer.bit_count
+
+
+def golomb_decode(payload: bytes, bit_count: int, count: int, parameter: int) -> list[int]:
+    """Decode ``count`` integers from a :func:`golomb_encode` payload."""
+    if parameter <= 0:
+        raise BitstreamError(f"Golomb parameter must be positive: {parameter}")
+    reader = BitReader(payload, bit_count)
+    return [_read_golomb(reader, parameter) for _ in range(count)]
+
+
+def encode_sorted_set(positions: "list[int]", universe: int) -> tuple[bytes, int, int]:
+    """Golomb-compress a sorted set of bit positions (a GCS).
+
+    Encodes first-order gaps with the parameter tuned to the set's density.
+    Returns ``(payload, bit_count, parameter)``.
+    """
+    if any(b < a for a, b in zip(positions, positions[1:])):
+        raise BitstreamError("positions must be sorted for gap encoding")
+    density = len(positions) / universe if universe > 0 else 0.0
+    parameter = optimal_golomb_parameter(density)
+    gaps = []
+    previous = -1
+    for position in positions:
+        gaps.append(position - previous - 1)
+        previous = position
+    payload, bit_count = golomb_encode(gaps, parameter)
+    return payload, bit_count, parameter
+
+
+def decode_sorted_set(payload: bytes, bit_count: int, count: int, parameter: int) -> list[int]:
+    """Inverse of :func:`encode_sorted_set`."""
+    gaps = golomb_decode(payload, bit_count, count, parameter)
+    positions = []
+    previous = -1
+    for gap in gaps:
+        previous = previous + gap + 1
+        positions.append(previous)
+    return positions

@@ -1,0 +1,59 @@
+"""Deterministic hash functions.
+
+Python's builtin ``hash`` for strings is salted per process, which would make
+index layouts and Bloom filter contents irreproducible across runs.  All
+sketches therefore use the explicit functions below: FNV-1a for string
+hashing and a splitmix64-style finalizer for deriving independent hash
+streams from a single base hash.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: "bytes | str") -> int:
+    """64-bit FNV-1a hash of a byte string (strings are UTF-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer: a strong 64-bit avalanche mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def hash_to_range(item: "bytes | str", modulus: int, seed: int = 0) -> int:
+    """Map ``item`` to ``[0, modulus)`` deterministically.
+
+    Independent hash streams (for multi-hash Bloom filters) are obtained by
+    varying ``seed``; the mixing step decorrelates them.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    base = fnv1a_64(item)
+    return mix64(base ^ mix64(seed)) % modulus
+
+
+def double_hashes(item: "bytes | str", count: int, modulus: int) -> list[int]:
+    """``count`` hash values in ``[0, modulus)`` via double hashing.
+
+    Kirsch–Mitzenmacher: ``h_i = h1 + i*h2 mod m`` is as good as ``count``
+    independent hashes for Bloom filter purposes, at two hash evaluations.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    base = fnv1a_64(item)
+    h1 = mix64(base)
+    h2 = mix64(base ^ 0xA5A5A5A5A5A5A5A5) | 1  # odd => full period
+    return [((h1 + i * h2) & _MASK64) % modulus for i in range(count)]

@@ -1,0 +1,133 @@
+"""The hybrid Golomb-compressed single-hash counting Bloom filter (§5.1).
+
+One :class:`HybridBloomFilter` backs one BFHM bucket.  Logically it is a
+single-hash-function Bloom filter plus a hash table of counters for each set
+bit (Fig. 4); physically, both the sorted set-bit positions and the counters
+are Golomb-compressed into a byte "blob", which is what gets stored in the
+NoSQL store and shipped over the network.  The paper calls this fusion "a
+hybrid between Golomb Compressed Sets and Counting Bloom filters".
+
+The in-memory object keeps the uncompressed dict for fast updates during
+index builds; :meth:`to_blob` / :meth:`from_blob` convert to and from the
+wire format, and all size accounting uses the blob size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SketchError
+from repro.sketches.bloom import SingleHashBloomFilter
+from repro.sketches.golomb import (
+    decode_sorted_set,
+    encode_sorted_set,
+    golomb_decode,
+    golomb_encode,
+    optimal_golomb_parameter,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class HybridBlob:
+    """Serialized form of a :class:`HybridBloomFilter`.
+
+    The header fields (small ints/floats) model the few bytes of metadata
+    HBase stores alongside the compressed payloads.
+    """
+
+    bit_count: int
+    entry_count: int
+    item_count: int
+    positions_payload: bytes
+    positions_bits: int
+    positions_parameter: int
+    counters_payload: bytes
+    counters_bits: int
+    counters_parameter: int
+
+    def serialized_size(self) -> int:
+        """Bytes of the blob as stored/shipped: payloads + a 24-byte header."""
+        return len(self.positions_payload) + len(self.counters_payload) + 24
+
+
+class HybridBloomFilter(SingleHashBloomFilter):
+    """Single-hash counting filter with Golomb blob (de)serialization."""
+
+    def insert(self, item: "bytes | str") -> int:
+        """Insert ``item`` and return its bit position (Alg. 5, line 12)."""
+        return self.add(item)[0]
+
+    def to_blob(self) -> HybridBlob:
+        """Compress the filter into its storable blob form."""
+        positions = sorted(self.counters)
+        pos_payload, pos_bits, pos_param = encode_sorted_set(
+            positions, self.bit_count
+        )
+        # counters are >= 1; encode (count - 1) which is near-geometric
+        counts = [self.counters[p] - 1 for p in positions]
+        mean = (sum(counts) / len(counts)) if counts else 0.0
+        # geometric with mean mu has success probability 1/(1+mu)
+        count_param = optimal_golomb_parameter(1.0 / (1.0 + mean))
+        count_payload, count_bits = golomb_encode(counts, count_param)
+        return HybridBlob(
+            bit_count=self.bit_count,
+            entry_count=len(positions),
+            item_count=self.item_count,
+            positions_payload=pos_payload,
+            positions_bits=pos_bits,
+            positions_parameter=pos_param,
+            counters_payload=count_payload,
+            counters_bits=count_bits,
+            counters_parameter=count_param,
+        )
+
+    @classmethod
+    def from_blob(cls, blob: HybridBlob) -> "HybridBloomFilter":
+        """Decompress a blob back into a filter."""
+        instance = cls(blob.bit_count)
+        positions = decode_sorted_set(
+            blob.positions_payload,
+            blob.positions_bits,
+            blob.entry_count,
+            blob.positions_parameter,
+        )
+        counts = golomb_decode(
+            blob.counters_payload,
+            blob.counters_bits,
+            blob.entry_count,
+            blob.counters_parameter,
+        )
+        instance.counters = {
+            position: count + 1 for position, count in zip(positions, counts)
+        }
+        instance.item_count = blob.item_count
+        return instance
+
+    def intersect_positions(self, other: "HybridBloomFilter") -> list[int]:
+        """Set-bit positions present in both filters (the bitwise AND of
+        Alg. 7, line 4)."""
+        if self.bit_count != other.bit_count:
+            raise SketchError(
+                "cannot intersect filters of different sizes: "
+                f"{self.bit_count} vs {other.bit_count}"
+            )
+        mine = self.counters.keys()
+        theirs = other.counters.keys()
+        if len(theirs) < len(mine):
+            mine, theirs = theirs, mine
+        return sorted(p for p in mine if p in theirs)
+
+    def join_cardinality(self, other: "HybridBloomFilter") -> float:
+        """α-compensated join size estimate (Alg. 7 lines 7–8 and §5.3).
+
+        Sums the products of matching counters, scaled by
+        ``α = (1 - PT_A) * (1 - PT_B)`` to compensate for false positives.
+        """
+        common = self.intersect_positions(other)
+        if not common:
+            return 0.0
+        raw = sum(self.counters[p] * other.counters[p] for p in common)
+        alpha = (1.0 - self.probe_probability()) * (
+            1.0 - other.probe_probability()
+        )
+        return raw * alpha

@@ -1,0 +1,117 @@
+"""Cells (key-value pairs) and materialized row views.
+
+A :class:`Cell` is the quadruplet of §1 — ``{key, column name, column value,
+timestamp}`` — with the column name split HBase-style into family and
+qualifier, plus a tombstone flag for deletes.  Cells sort by
+``(row, family, qualifier, -timestamp)`` so scans surface newest versions
+first, exactly like HBase's KeyValue ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One key-value pair of the store."""
+
+    row: str
+    family: str
+    qualifier: str
+    value: bytes
+    timestamp: int
+    is_delete: bool = False
+
+    def sort_key(self) -> tuple[str, str, str, int]:
+        """HBase KeyValue ordering: newest version of a column first."""
+        return (self.row, self.family, self.qualifier, -self.timestamp)
+
+    def serialized_size(self) -> int:
+        """On-disk / on-wire size of the cell."""
+        return (
+            len(self.row.encode("utf-8"))
+            + len(self.family.encode("utf-8"))
+            + len(self.qualifier.encode("utf-8"))
+            + len(self.value)
+            + 9  # 8-byte timestamp + 1-byte type
+        )
+
+
+def resolve_versions(cells: Iterable[Cell]) -> list[Cell]:
+    """Collapse raw (possibly multi-version, possibly deleted) cells into the
+    visible latest version per ``(row, family, qualifier)``.
+
+    Tombstones mask every version of their column with a timestamp less than
+    or equal to the tombstone's, matching HBase delete semantics.
+    """
+    by_column: dict[tuple[str, str, str], list[Cell]] = {}
+    for cell in cells:
+        by_column.setdefault((cell.row, cell.family, cell.qualifier), []).append(cell)
+
+    visible: list[Cell] = []
+    for column_cells in by_column.values():
+        # a tombstone masks every version with timestamp <= its own, even
+        # one arriving in the same batch — so compute the horizon first
+        delete_horizon = max(
+            (cell.timestamp for cell in column_cells if cell.is_delete),
+            default=-1,
+        )
+        chosen: Cell | None = None
+        for cell in column_cells:
+            if cell.is_delete or cell.timestamp <= delete_horizon:
+                continue
+            if chosen is None or cell.timestamp > chosen.timestamp:
+                chosen = cell
+        if chosen is not None:
+            visible.append(chosen)
+    visible.sort(key=Cell.sort_key)
+    return visible
+
+
+@dataclass(slots=True)
+class RowResult:
+    """All visible cells of one row, as returned by gets and scans."""
+
+    row: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def empty(self) -> bool:
+        return not self.cells
+
+    def value(self, family: str, qualifier: str) -> "bytes | None":
+        """Value of one column, or ``None`` if absent."""
+        for cell in self.cells:
+            if cell.family == family and cell.qualifier == qualifier:
+                return cell.value
+        return None
+
+    def family_cells(self, family: str) -> list[Cell]:
+        """Cells belonging to one column family."""
+        return [cell for cell in self.cells if cell.family == family]
+
+    def families(self) -> set[str]:
+        return {cell.family for cell in self.cells}
+
+    def serialized_size(self) -> int:
+        return sum(cell.serialized_size() for cell in self.cells)
+
+
+def group_rows(cells: Iterable[Cell]) -> list[RowResult]:
+    """Group already-resolved, sorted cells into per-row results."""
+    results: list[RowResult] = []
+    current: RowResult | None = None
+    for cell in cells:
+        if current is None or current.row != cell.row:
+            current = RowResult(cell.row)
+            results.append(current)
+        current.cells.append(cell)
+    return results

@@ -1,0 +1,281 @@
+"""Client API of the store: Store (admin) and HTable (data path).
+
+The interface intentionally mirrors HBase's client classes (``Put``,
+``Get``, ``Delete``, ``Scan``, ``HTable``), because the paper's algorithms
+are expressed in those terms — point gets for BFHM reverse mappings, batched
+scans with row caching for ISL ("HBase scans with a non-zero rowcache
+size"), and server-side filters for DRJN.
+
+Every metered operation charges the :class:`~repro.cluster.simulation.SimContext`:
+RPC round trips, network bytes, server disk reads, and KV read units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cluster.simulation import SimContext
+from repro.errors import InvalidMutationError, TableExistsError, TableNotFoundError
+from repro.store.cell import Cell, RowResult
+from repro.store.filters import Filter
+from repro.store.scanner import RegionScanner
+from repro.store.table import StoreTable
+
+#: approximate request header size charged per RPC
+REQUEST_OVERHEAD_BYTES = 64
+
+
+@dataclass
+class Put:
+    """A batched write of one or more cells to a single row."""
+
+    row: str
+    cells: list[tuple[str, str, bytes]] = field(default_factory=list)
+    timestamp: "int | None" = None
+
+    def add(self, family: str, qualifier: str, value: bytes) -> "Put":
+        """Add a column write; returns self for chaining."""
+        self.cells.append((family, qualifier, value))
+        return self
+
+    def serialized_size(self) -> int:
+        """On-wire size (drives shuffle/network accounting when Puts are
+        emitted through MapReduce)."""
+        row = len(self.row.encode("utf-8"))
+        return 8 + sum(
+            row
+            + len(family.encode("utf-8"))
+            + len(qualifier.encode("utf-8"))
+            + len(value)
+            for family, qualifier, value in self.cells
+        )
+
+
+@dataclass
+class Get:
+    """A point read of one row (optionally restricted to families)."""
+
+    row: str
+    families: "set[str] | None" = None
+
+
+@dataclass
+class Delete:
+    """A tombstone for a whole row or a single column."""
+
+    row: str
+    family: "str | None" = None
+    qualifier: "str | None" = None
+    timestamp: "int | None" = None
+
+
+@dataclass
+class Scan:
+    """A range scan with HBase-style row caching (batching).
+
+    ``caching`` is the number of rows fetched per RPC round trip — the
+    knob §4.2.3 tunes: larger batches amortize RPC latency at the price of
+    possibly shipping more rows than the algorithm ends up needing.
+    """
+
+    start_row: "str | None" = None
+    stop_row: "str | None" = None
+    families: "set[str] | None" = None
+    caching: int = 100
+    filter: "Filter | None" = None
+    limit: "int | None" = None
+
+
+class Store:
+    """Administrative entry point: table lifecycle + HTable handles."""
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        self._tables: dict[str, StoreTable] = {}
+
+    def create_table(
+        self,
+        name: str,
+        families: "set[str]",
+        split_keys: "list[str] | None" = None,
+        max_region_bytes: "int | None" = None,
+    ) -> "HTable":
+        """Create a table (optionally pre-split) and return a handle."""
+        if name in self._tables:
+            raise TableExistsError(name)
+        kwargs = {}
+        if max_region_bytes is not None:
+            kwargs["max_region_bytes"] = max_region_bytes
+        self._tables[name] = StoreTable(
+            name, families, self.ctx.cluster, split_keys, **kwargs
+        )
+        return HTable(self, self._tables[name])
+
+    def table(self, name: str) -> "HTable":
+        """Handle to an existing table."""
+        try:
+            return HTable(self, self._tables[name])
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableNotFoundError(name)
+        del self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def backing(self, name: str) -> StoreTable:
+        """Raw (unmetered) table object, for tests/reporting/MR locality."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+
+class HTable:
+    """Metered data-path handle to one table."""
+
+    def __init__(self, store: Store, table: StoreTable) -> None:
+        self.store = store
+        self.table = table
+        self.ctx = store.ctx
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    # -- writes ---------------------------------------------------------------
+
+    def _cells_of_put(self, put: Put) -> list[Cell]:
+        if not put.row:
+            raise InvalidMutationError("empty row key")
+        if not put.cells:
+            raise InvalidMutationError(f"Put for {put.row!r} has no cells")
+        timestamp = (
+            put.timestamp if put.timestamp is not None else self.ctx.next_timestamp()
+        )
+        return [
+            Cell(put.row, family, qualifier, value, timestamp)
+            for family, qualifier, value in put.cells
+        ]
+
+    def put(self, put: Put) -> None:
+        """Write one row mutation (row-level atomic)."""
+        self.put_batch([put])
+
+    def put_batch(self, puts: "list[Put]") -> None:
+        """Write many mutations with one RPC per region touched.
+
+        Charged costs: client->server transfer of all cells, plus WAL
+        replication copies across the HDFS substrate.
+        """
+        cells = [cell for put in puts for cell in self._cells_of_put(put)]
+        self._apply_metered(cells)
+
+    def delete(self, delete: Delete) -> None:
+        """Tombstone a row or column."""
+        timestamp = (
+            delete.timestamp
+            if delete.timestamp is not None
+            else self.ctx.next_timestamp()
+        )
+        cells: list[Cell] = []
+        if delete.family is None:
+            # whole-row delete: tombstone every existing column of the row
+            existing = self.table.read_row(delete.row)
+            if existing.empty:
+                return
+            for cell in existing.cells:
+                cells.append(
+                    Cell(delete.row, cell.family, cell.qualifier, b"", timestamp, True)
+                )
+        else:
+            qualifier = delete.qualifier if delete.qualifier is not None else ""
+            cells.append(
+                Cell(delete.row, delete.family, qualifier, b"", timestamp, True)
+            )
+        self._apply_metered(cells)
+
+    def _apply_metered(self, cells: "list[Cell]") -> None:
+        if not cells:
+            return
+        model = self.ctx.cost_model
+        payload = sum(cell.serialized_size() for cell in cells)
+        regions_touched = set()
+        for cell in cells:
+            self.table.apply(cell)
+            regions_touched.add(id(self.table.region_for(cell.row)))
+        # client -> server transfer + WAL replication (HDFS pipeline writes
+        # replication-1 extra copies across the network)
+        replicated = payload * (model.hdfs_replication - 1)
+        self.ctx.metrics.add_network(payload + replicated)
+        self.ctx.metrics.advance_time(
+            len(regions_touched) * model.rpc_latency_s
+            + model.network_time(payload + replicated)
+        )
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, get: Get) -> RowResult:
+        """Metered point read of one row."""
+        region = self.table.region_for(get.row)
+        result = region.read_row(get.row, get.families)
+        response = result.serialized_size()
+        self.ctx.charge_server_read(
+            response, max(len(result), 1), sequential=False
+        )
+        self.ctx.charge_rpc(REQUEST_OVERHEAD_BYTES + len(get.row), response)
+        return result
+
+    def multi_get(self, gets: "list[Get]") -> list[RowResult]:
+        """Batched point reads: one RPC per region touched (HBase multi-get).
+
+        Server-side read costs are identical to individual gets; only the
+        per-row RPC latency is amortized.
+        """
+        results: list[RowResult] = []
+        regions_touched = set()
+        request_bytes = REQUEST_OVERHEAD_BYTES
+        response_bytes = 0
+        for get in gets:
+            region = self.table.region_for(get.row)
+            regions_touched.add(id(region))
+            result = region.read_row(get.row, get.families)
+            self.ctx.charge_server_read(
+                result.serialized_size(), max(len(result), 1), sequential=False
+            )
+            request_bytes += len(get.row)
+            response_bytes += result.serialized_size()
+            results.append(result)
+        if gets:
+            model = self.ctx.cost_model
+            total = request_bytes + response_bytes
+            self.ctx.metrics.add_network(total)
+            self.ctx.metrics.advance_time(
+                len(regions_touched) * model.rpc_latency_s
+                + model.network_time(total)
+            )
+        return results
+
+    def scan(self, scan: Scan) -> Iterator[RowResult]:
+        """Metered scan honoring batching, filters, and limits."""
+        return iter(RegionScanner(self, scan))
+
+    def scan_all(self, scan: "Scan | None" = None) -> list[RowResult]:
+        """Convenience: materialize a full scan."""
+        return list(self.scan(scan or Scan()))
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def disk_size(self) -> int:
+        return self.table.disk_size
+
+    def flush(self) -> None:
+        self.table.flush_all()

@@ -1,0 +1,60 @@
+"""In-memory write buffer of a region (HBase MemStore equivalent).
+
+NoSQL stores achieve their high write throughput with "memory caches and
+append-only storage semantics" (§1): writes land in a sorted in-memory
+buffer which is flushed to an immutable sorted segment when full.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.store.cell import Cell
+
+
+class MemTable:
+    """Sorted multi-version buffer of cells awaiting a flush."""
+
+    def __init__(self) -> None:
+        self._cells: list[Cell] = []
+        self._sorted = True
+        self.byte_size = 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def empty(self) -> bool:
+        return not self._cells
+
+    def add(self, cell: Cell) -> None:
+        """Append a cell (kept lazily sorted)."""
+        if self._cells and self._sorted:
+            self._sorted = cell.sort_key() >= self._cells[-1].sort_key()
+        self._cells.append(cell)
+        self.byte_size += cell.serialized_size()
+
+    def add_all(self, cells: Iterable[Cell]) -> None:
+        for cell in cells:
+            self.add(cell)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._cells.sort(key=Cell.sort_key)
+            self._sorted = True
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in KeyValue order (including tombstones)."""
+        self._ensure_sorted()
+        return iter(self._cells)
+
+    def cells_for_row(self, row: str) -> list[Cell]:
+        """All raw cells of one row."""
+        return [cell for cell in self._cells if cell.row == row]
+
+    def drain(self) -> list[Cell]:
+        """Return all cells sorted and clear the buffer (flush support)."""
+        self._ensure_sorted()
+        cells, self._cells = self._cells, []
+        self.byte_size = 0
+        return cells

@@ -1,0 +1,67 @@
+"""Immutable sorted segments (HBase HFile / Bigtable SSTable equivalents).
+
+Flushes turn a memtable into an :class:`SSTable`; compactions merge several
+into one, dropping masked versions and tombstones.  Row-level lookups use
+binary search over the sorted cell array, mimicking the block-index access
+of real HFiles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+from repro.store.cell import Cell, resolve_versions
+
+
+class SSTable:
+    """An immutable, sorted run of cells."""
+
+    def __init__(self, cells: Iterable[Cell]) -> None:
+        self._cells = sorted(cells, key=Cell.sort_key)
+        self._rows = [cell.row for cell in self._cells]
+        self.byte_size = sum(cell.serialized_size() for cell in self._cells)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def empty(self) -> bool:
+        return not self._cells
+
+    @property
+    def first_row(self) -> "str | None":
+        return self._rows[0] if self._rows else None
+
+    @property
+    def last_row(self) -> "str | None":
+        return self._rows[-1] if self._rows else None
+
+    def cells(self) -> Iterator[Cell]:
+        return iter(self._cells)
+
+    def cells_for_row(self, row: str) -> list[Cell]:
+        """Raw cells of one row via binary search."""
+        lo = bisect_left(self._rows, row)
+        hi = bisect_right(self._rows, row)
+        return self._cells[lo:hi]
+
+    def cells_in_range(self, start_row: "str | None", stop_row: "str | None") -> list[Cell]:
+        """Raw cells with ``start_row <= row < stop_row``."""
+        lo = 0 if start_row is None else bisect_left(self._rows, start_row)
+        hi = len(self._rows) if stop_row is None else bisect_left(self._rows, stop_row)
+        return self._cells[lo:hi]
+
+
+def compact(sstables: "list[SSTable]", drop_deletes: bool = True) -> SSTable:
+    """Merge segments into one, resolving versions.
+
+    With ``drop_deletes`` (a major compaction) tombstones and the versions
+    they mask disappear entirely; otherwise raw cells are just merged.
+    """
+    merged: list[Cell] = []
+    for sstable in sstables:
+        merged.extend(sstable.cells())
+    if drop_deletes:
+        merged = resolve_versions(merged)
+    return SSTable(merged)

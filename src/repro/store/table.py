@@ -1,0 +1,135 @@
+"""Tables: schema plus the sorted list of regions.
+
+A :class:`StoreTable` owns the column-family schema and routes rows to
+regions.  Regions split automatically at their midpoint when they outgrow
+``max_region_bytes``, and daughters are spread over the cluster's workers —
+this is what distributes an index table across nodes after a bulk build.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ColumnFamilyNotFoundError, RegionError
+from repro.store.cell import Cell, RowResult
+from repro.store.region import Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.simulation import SimCluster
+
+#: default auto-split threshold for a region's durable size
+DEFAULT_MAX_REGION_BYTES = 64 * 1024 * 1024
+
+
+class StoreTable:
+    """One table of the store: schema, regions, and routing."""
+
+    def __init__(
+        self,
+        name: str,
+        families: "set[str]",
+        cluster: "SimCluster",
+        split_keys: "list[str] | None" = None,
+        max_region_bytes: int = DEFAULT_MAX_REGION_BYTES,
+    ) -> None:
+        self.name = name
+        self.families = set(families)
+        self.cluster = cluster
+        self.max_region_bytes = max_region_bytes
+        boundaries = sorted(split_keys or [])
+        starts: list[str | None] = [None, *boundaries]
+        stops: list[str | None] = [*boundaries, None]
+        self.regions: list[Region] = [
+            Region(start, stop, cluster.next_worker())
+            for start, stop in zip(starts, stops)
+        ]
+        # region start keys for binary-search routing (None sorts first)
+        self._start_keys = boundaries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StoreTable({self.name!r}, {len(self.regions)} regions)"
+
+    def check_family(self, family: str) -> None:
+        if family not in self.families:
+            raise ColumnFamilyNotFoundError(self.name, family)
+
+    def add_family(self, family: str) -> None:
+        """Online schema change: add a column family."""
+        self.families.add(family)
+
+    # -- routing -------------------------------------------------------------
+
+    def region_for(self, row: str) -> Region:
+        """The region owning ``row``."""
+        index = bisect_right(self._start_keys, row)
+        region = self.regions[index]
+        if not region.contains(row):
+            raise RegionError(
+                f"routing bug: {row!r} not in region "
+                f"[{region.start_key!r}, {region.stop_key!r})"
+            )
+        return region
+
+    def regions_in_range(
+        self, start_row: "str | None", stop_row: "str | None"
+    ) -> list[Region]:
+        """Regions overlapping ``[start_row, stop_row)`` in key order."""
+        selected = []
+        for region in self.regions:
+            if stop_row is not None and region.start_key is not None and region.start_key >= stop_row:
+                continue
+            if start_row is not None and region.stop_key is not None and region.stop_key <= start_row:
+                continue
+            selected.append(region)
+        return selected
+
+    # -- mutation ------------------------------------------------------------
+
+    def apply(self, cell: Cell) -> None:
+        """Route one mutation to its region; may trigger an auto-split."""
+        self.check_family(cell.family)
+        region = self.region_for(cell.row)
+        region.apply(cell)
+        if region.disk_size > self.max_region_bytes:
+            self._try_split(region)
+
+    def _try_split(self, region: Region) -> None:
+        split_key = region.midpoint_key()
+        if split_key is None:
+            return
+        lower, upper = region.split(split_key, self.cluster.next_worker())
+        index = self.regions.index(region)
+        self.regions[index : index + 1] = [lower, upper]
+        self._start_keys = [r.start_key for r in self.regions[1:]]  # type: ignore[misc]
+
+    def flush_all(self) -> None:
+        """Flush every region (makes all data durable and scannable)."""
+        for region in self.regions:
+            region.flush()
+
+    def compact_all(self, major: bool = True) -> None:
+        for region in self.regions:
+            region.compact(major=major)
+
+    # -- unmetered access (ground truth, tests, reporting) --------------------
+
+    def read_row(self, row: str, families: "set[str] | None" = None) -> RowResult:
+        return self.region_for(row).read_row(row, families)
+
+    def all_rows(self, families: "set[str] | None" = None) -> Iterator[RowResult]:
+        """Every visible row in key order, without cost accounting."""
+        for region in self.regions:
+            yield from region.scan_rows(families=families)
+
+    @property
+    def disk_size(self) -> int:
+        """Durable bytes across all regions (index size reporting)."""
+        return sum(region.disk_size for region in self.regions)
+
+    @property
+    def total_size(self) -> int:
+        return sum(region.total_size for region in self.regions)
+
+    def raw_cell_count(self) -> int:
+        return sum(region.raw_cell_count() for region in self.regions)

@@ -1,0 +1,30 @@
+"""TPC-H-like workload: generator, loader, evaluation queries, refresh sets.
+
+The paper evaluates on TPC-H "Lineitem", "Orders" and "Part" tables at scale
+factors 10–500 (§7.1).  We generate miniature, deterministic tables with the
+same schema roles and — importantly — the same *score distribution contrast*
+between the two evaluation queries: Q1's per-row scores are close to uniform
+(many high-ranking tuples; the top-k join converges shallow), while Q2's are
+skewed low (few high-ranking tuples; algorithms must "reach deeper into each
+index", §7.2).
+"""
+
+from repro.tpch.generator import TPCHData, generate
+from repro.tpch.loader import LINEITEM, ORDERS, PART, load_tpch
+from repro.tpch.queries import Q1_SQL, Q2_SQL, q1, q2
+from repro.tpch.updates import RefreshSet, generate_refresh_sets
+
+__all__ = [
+    "TPCHData",
+    "generate",
+    "LINEITEM",
+    "ORDERS",
+    "PART",
+    "load_tpch",
+    "Q1_SQL",
+    "Q2_SQL",
+    "q1",
+    "q2",
+    "RefreshSet",
+    "generate_refresh_sets",
+]

@@ -1,0 +1,41 @@
+"""The paper's two evaluation queries (§7.1).
+
+Q1 joins Part and Lineitem on PartKey, scoring by the *product* of prices;
+Q2 joins Orders and Lineitem on OrderKey, scoring by their *sum*.  Both are
+provided as bound :class:`~repro.query.spec.RankJoinQuery` objects and as
+SQL text for the parser path.
+"""
+
+from __future__ import annotations
+
+from repro.query.spec import RankJoinQuery
+from repro.tpch.loader import (
+    lineitem_by_order_binding,
+    lineitem_by_part_binding,
+    orders_binding,
+    part_binding,
+)
+
+Q1_SQL = (
+    "SELECT * FROM part P, lineitem L "
+    "WHERE P.partkey = L.partkey "
+    "ORDER BY P.retailprice * L.extendedprice "
+    "STOP AFTER {k}"
+)
+
+Q2_SQL = (
+    "SELECT * FROM orders O, lineitem L "
+    "WHERE O.orderkey = L.orderkey "
+    "ORDER BY O.totalprice + L.extendedprice "
+    "STOP AFTER {k}"
+)
+
+
+def q1(k: int) -> RankJoinQuery:
+    """Q1: ``Part ⋈ Lineitem`` on partkey, product scoring, top-``k``."""
+    return RankJoinQuery.of(part_binding(), lineitem_by_part_binding(), "product", k)
+
+
+def q2(k: int) -> RankJoinQuery:
+    """Q2: ``Orders ⋈ Lineitem`` on orderkey, sum scoring, top-``k``."""
+    return RankJoinQuery.of(orders_binding(), lineitem_by_order_binding(), "sum", k)

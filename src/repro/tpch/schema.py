@@ -1,0 +1,74 @@
+"""Column schemas of the generated TPC-H-like tables.
+
+Beyond the join and score columns, every table carries its realistic
+complement of "payload" columns.  These matter for the experiments: Hive
+ships whole rows through its join job while Pig projects early (§3.1), and
+the index-based algorithms ship none of them — reproducing the bandwidth
+ordering requires rows that are genuinely wider than (key, join, score).
+"""
+
+from __future__ import annotations
+
+#: part table columns (score column: retailprice, normalized to (0, 1])
+PART_COLUMNS = (
+    "partkey",
+    "name",
+    "mfgr",
+    "brand",
+    "type",
+    "size",
+    "container",
+    "retailprice",
+    "comment",
+)
+
+#: orders table columns (score column: totalprice, normalized to (0, 1])
+ORDERS_COLUMNS = (
+    "orderkey",
+    "custkey",
+    "orderstatus",
+    "totalprice",
+    "orderdate",
+    "orderpriority",
+    "clerk",
+    "shippriority",
+    "comment",
+)
+
+#: lineitem table columns (score column: extendedprice, normalized)
+LINEITEM_COLUMNS = (
+    "orderkey",
+    "partkey",
+    "suppkey",
+    "linenumber",
+    "quantity",
+    "extendedprice",
+    "discount",
+    "tax",
+    "returnflag",
+    "linestatus",
+    "shipdate",
+    "commitdate",
+    "receiptdate",
+    "shipinstruct",
+    "shipmode",
+    "comment",
+)
+
+#: TPC-H-flavoured vocabulary for payload columns
+MFGRS = ("Manufacturer#1", "Manufacturer#2", "Manufacturer#3",
+         "Manufacturer#4", "Manufacturer#5")
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+TYPES = ("STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS",
+         "ECONOMY BURNISHED STEEL", "PROMO BRUSHED NICKEL", "LARGE PLATED STEEL")
+CONTAINERS = ("SM CASE", "SM BOX", "MED BAG", "MED PKG", "LG CASE",
+              "LG DRUM", "JUMBO JAR", "WRAP PACK")
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SHIP_INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+COMMENT_WORDS = (
+    "furiously", "quickly", "carefully", "blithely", "slyly", "regular",
+    "express", "special", "pending", "final", "ironic", "even", "bold",
+    "packages", "deposits", "accounts", "requests", "instructions", "theodolites",
+    "foxes", "pinto", "beans", "asymptotes", "dependencies", "platelets",
+)

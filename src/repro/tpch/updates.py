@@ -1,0 +1,105 @@
+"""TPC-H-style refresh (update) sets.
+
+§7.2's online-update experiment applies sets of "≈ s×600 insertions and
+≈ s×150 deletions" (new orders with their lineitems; deletions of existing
+orders with their lineitems), then measures query time.  A
+:class:`RefreshSet` carries both halves; applying one is the job of the
+maintenance layer (for IJLMR/ISL) and the BFHM update machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.tpch.generator import Record, TPCHData, _make_lineitem, _make_order
+
+#: refresh-set sizing per micro_scale unit, after the paper's s×600 / s×150
+INSERTS_PER_UNIT = 600
+DELETES_PER_UNIT = 150
+
+
+@dataclass
+class RefreshSet:
+    """One application of the TPC-H refresh functions (RF1 + RF2)."""
+
+    sequence: int
+    insert_orders: list[Record] = field(default_factory=list)
+    insert_lineitems: list[Record] = field(default_factory=list)
+    #: row keys of orders to delete
+    delete_orders: list[str] = field(default_factory=list)
+    #: row keys of lineitems to delete (children of deleted orders)
+    delete_lineitems: list[str] = field(default_factory=list)
+
+    @property
+    def insert_count(self) -> int:
+        return len(self.insert_orders) + len(self.insert_lineitems)
+
+    @property
+    def delete_count(self) -> int:
+        return len(self.delete_orders) + len(self.delete_lineitems)
+
+
+def generate_refresh_sets(
+    data: TPCHData, count: int, seed: "int | None" = None
+) -> list[RefreshSet]:
+    """Generate ``count`` refresh sets against (and mutating the bookkeeping
+    of) ``data``.
+
+    Insertions extend the order/lineitem key sequences; deletions target
+    orders still present (earliest first, like TPC-H's RF2), cascading to
+    their lineitems.
+    """
+    rng = random.Random(data.seed + 7919 if seed is None else seed)
+    partkeys = [part["partkey"] for part in data.parts]
+    live_orders = {order["orderkey"] for order in data.orders}
+    lineitems_by_order: dict[str, list[str]] = {}
+    for item in data.lineitems:
+        lineitems_by_order.setdefault(item["orderkey"], []).append(item["rowkey"])
+
+    target_inserts = max(2, round(INSERTS_PER_UNIT * data.micro_scale))
+    target_deletes = max(1, round(DELETES_PER_UNIT * data.micro_scale))
+
+    sets: list[RefreshSet] = []
+    for sequence in range(count):
+        refresh = RefreshSet(sequence)
+
+        # RF1: new orders, each with 1..7 lineitems, until the target size
+        while refresh.insert_count < target_inserts:
+            order = _make_order(rng, data.next_order_seq)
+            data.next_order_seq += 1
+            refresh.insert_orders.append(order)
+            for linenumber in range(1, rng.randint(1, 7) + 1):
+                refresh.insert_lineitems.append(
+                    _make_lineitem(
+                        rng,
+                        data.next_line_seq,
+                        order["orderkey"],
+                        linenumber,
+                        partkeys,
+                    )
+                )
+                data.next_line_seq += 1
+
+        # RF2: delete the oldest live orders (and their lineitems) until
+        # the target mutation count is reached
+        selected = 0
+        for orderkey in sorted(live_orders):
+            order_cost = 1 + len(lineitems_by_order.get(orderkey, ()))
+            if selected and selected + order_cost > target_deletes:
+                break
+            live_orders.discard(orderkey)
+            refresh.delete_orders.append(orderkey)
+            refresh.delete_lineitems.extend(lineitems_by_order.pop(orderkey, ()))
+            selected += order_cost
+            if selected >= target_deletes:
+                break
+
+        # newly inserted orders become deletable by later sets
+        for order in refresh.insert_orders:
+            live_orders.add(order["orderkey"])
+        for item in refresh.insert_lineitems:
+            lineitems_by_order.setdefault(item["orderkey"], []).append(item["rowkey"])
+
+        sets.append(refresh)
+    return sets

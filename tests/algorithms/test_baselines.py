@@ -1,0 +1,96 @@
+"""Hive, Pig, and DRJN baselines (§3, §7.1)."""
+
+from repro.core.indexes import DRJN_TABLE
+from repro.tpch.queries import q1, q2
+
+
+class TestHive:
+    def test_materializes_full_join(self, shared_setup):
+        """Hive computes the whole join result before ranking (§3.1)."""
+        result = shared_setup.engine.execute(q1(3), algorithm="hive")
+        join_size = len(shared_setup.data.lineitems)
+        assert result.details["join_records"] == join_size
+
+    def test_scans_base_tables_fully(self, shared_setup):
+        result = shared_setup.engine.execute(q1(3), algorithm="hive")
+        store = shared_setup.platform.store
+        expected = (store.backing("part").raw_cell_count()
+                    + store.backing("lineitem").raw_cell_count())
+        assert result.metrics.kv_reads >= expected
+
+    def test_cost_independent_of_k(self, shared_setup):
+        """The naive plan does all the work regardless of k."""
+        small = shared_setup.engine.execute(q1(1), algorithm="hive")
+        large = shared_setup.engine.execute(q1(100), algorithm="hive")
+        assert small.metrics.kv_reads == large.metrics.kv_reads
+
+    def test_two_jobs_of_startup(self, shared_setup):
+        result = shared_setup.engine.execute(q1(3), algorithm="hive")
+        model = shared_setup.platform.cost_model
+        assert result.metrics.sim_time_s >= 2 * model.mr_job_startup_s
+
+
+class TestPig:
+    def test_three_jobs_of_startup(self, shared_setup):
+        result = shared_setup.engine.execute(q1(3), algorithm="pig")
+        model = shared_setup.platform.cost_model
+        assert result.metrics.sim_time_s >= 3 * model.mr_job_startup_s
+
+    def test_early_projection_beats_hive_bandwidth(self, shared_setup):
+        """Pig strips payload columns before the shuffle (§3.1)."""
+        pig = shared_setup.engine.execute(q1(10), algorithm="pig")
+        hive = shared_setup.engine.execute(q1(10), algorithm="hive")
+        assert pig.metrics.network_bytes < hive.metrics.network_bytes / 3
+
+    def test_faster_than_hive(self, shared_setup):
+        pig = shared_setup.engine.execute(q1(10), algorithm="pig")
+        hive = shared_setup.engine.execute(q1(10), algorithm="hive")
+        assert pig.metrics.sim_time_s < hive.metrics.sim_time_s
+
+    def test_quantile_sampling_ran(self, shared_setup):
+        result = shared_setup.engine.execute(q1(10), algorithm="pig")
+        assert "quantiles" in result.details
+
+
+class TestDRJN:
+    def test_index_size_capped_by_matrix_dimensions(self, shared_setup):
+        """§7.2: DRJN's index is a fixed-size matrix (KB–MB at any data
+        scale) — its cell count is bounded by buckets × partitions, unlike
+        the inverted lists which grow with the data."""
+        from repro.baselines.drjn import (
+            DEFAULT_JOIN_PARTITIONS,
+            DEFAULT_SCORE_BUCKETS,
+        )
+
+        store = shared_setup.platform.store
+        drjn = store.backing(DRJN_TABLE)
+        cells_per_relation = DEFAULT_SCORE_BUCKETS * DEFAULT_JOIN_PARTITIONS
+        # 2 queries x 2 relations, plus the per-partition meta cells
+        cap = 4 * (cells_per_relation + DEFAULT_JOIN_PARTITIONS)
+        assert drjn.raw_cell_count() <= cap
+
+    def test_pull_phase_scans_everything(self, shared_setup):
+        """Each pull round's map job reads the full base tables, driving
+        DRJN's dollar cost orders above BFHM's."""
+        drjn = shared_setup.engine.execute(q2(10), algorithm="drjn")
+        bfhm = shared_setup.engine.execute(q2(10), algorithm="bfhm")
+        assert drjn.metrics.kv_reads > 50 * bfhm.metrics.kv_reads
+
+    def test_time_trails_coordinator_algorithms(self, shared_setup):
+        """Fig. 8: DRJN trails ISL/BFHM by orders of magnitude (map jobs
+        scan the whole dataset per round)."""
+        drjn = shared_setup.engine.execute(q1(10), algorithm="drjn")
+        isl = shared_setup.engine.execute(q1(10), algorithm="isl")
+        assert drjn.metrics.sim_time_s > 10 * isl.metrics.sim_time_s
+
+    def test_server_side_filter_limits_bandwidth(self, shared_setup):
+        """The §7.1 optimization: only tuples above the bound cross the
+        network, so DRJN ships far less than Hive despite scanning as much."""
+        drjn = shared_setup.engine.execute(q1(10), algorithm="drjn")
+        hive = shared_setup.engine.execute(q1(10), algorithm="hive")
+        assert drjn.metrics.network_bytes < hive.metrics.network_bytes / 5
+
+    def test_rounds_reported(self, shared_setup):
+        result = shared_setup.engine.execute(q1(10), algorithm="drjn")
+        assert result.details["rounds"] >= 1
+        assert result.details["pulled_left"] >= 1

@@ -1,0 +1,115 @@
+"""BFHM phase 1: bucket joins, termination, and the two policies (§5.2)."""
+
+import pytest
+
+from repro.common.functions import SumFunction
+from repro.core.bfhm.algorithm import BFHMRankJoin
+from repro.core.bfhm.bucket import BFHMBucketData, BFHMMeta
+from repro.core.bfhm.estimation import BFHMEstimator, TerminationPolicy
+from repro.sketches.hybrid import HybridBloomFilter
+from repro.tpch.queries import q1, q2
+
+
+def bucket(number, members, m_bits=4096):
+    """members: list of (join_value, score)."""
+    hybrid = HybridBloomFilter(m_bits)
+    for value, _ in members:
+        hybrid.insert(value)
+    scores = [s for _, s in members]
+    return BFHMBucketData(
+        bucket=number,
+        min_score=min(scores),
+        max_score=max(scores),
+        count=len(members),
+        filter=hybrid,
+    )
+
+
+class TestBucketJoin:
+    def _estimator(self):
+        metas = (
+            BFHMMeta(10, 4096, (0, 1)),
+            BFHMMeta(10, 4096, (0, 1)),
+        )
+        return BFHMEstimator(
+            platform=None, signatures=("L", "R"), metas=metas,
+            function=SumFunction(),
+        )
+
+    def test_joinable_buckets_produce_estimate(self):
+        estimator = self._estimator()
+        left = bucket(1, [("b", 0.82)])
+        right = bucket(0, [("b", 0.91), ("b", 0.92)])
+        estimate = estimator._bucket_join(left, right)
+        assert estimate is not None
+        # Fig. 6(c) row 1: two estimated tuples, scores in [1.73, 1.74]
+        assert estimate.cardinality == pytest.approx(2, rel=0.01)
+        assert estimate.min_score == pytest.approx(0.82 + 0.91)
+        assert estimate.max_score == pytest.approx(0.82 + 0.92)
+
+    def test_disjoint_buckets_return_none(self):
+        estimator = self._estimator()
+        left = bucket(0, [("a", 1.0)], m_bits=1 << 20)
+        right = bucket(0, [("zz", 0.91)], m_bits=1 << 20)
+        assert estimator._bucket_join(left, right) is None
+
+    def test_kth_bound_policies(self):
+        estimator = self._estimator()
+        left0 = bucket(0, [("b", 0.93)])
+        right0 = bucket(0, [("b", 0.91), ("b", 0.92)])
+        left1 = bucket(1, [("c", 0.82)])
+        right1 = bucket(1, [("c", 0.85)])
+        estimator.results.append(estimator._bucket_join(left0, right0))
+        estimator.results.append(estimator._bucket_join(left1, right1))
+        # tuples (by min desc): 1.84 x2, then 1.67
+        assert estimator.kth_bound(
+            3, TerminationPolicy.CONSERVATIVE
+        ) == pytest.approx(0.82 + 0.85)
+        assert estimator.kth_bound(
+            3, TerminationPolicy.AGGRESSIVE
+        ) == pytest.approx(0.82 + 0.85)
+        assert estimator.kth_bound(10) is None
+
+    def test_unexamined_best_uses_bucket_boundaries(self):
+        # next unfetched bucket of L is 1 => boundary 0.9; R's best
+        # boundary is 1.0; sum bound = 1.9 (the paper's worked arithmetic)
+        estimator = self._estimator()
+        estimator._next_index[0] = 1  # bucket 0 already fetched
+        assert estimator.unexamined_best(0) == pytest.approx(0.9 + 1.0)
+
+    def test_exhausted_side_has_no_unexamined(self):
+        estimator = self._estimator()
+        estimator._next_index[0] = 2
+        assert estimator.unexamined_best(0) is None
+        assert estimator.side_exhausted(0)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", list(TerminationPolicy))
+    @pytest.mark.parametrize("query_factory", [q1, q2], ids=["Q1", "Q2"])
+    def test_both_policies_reach_full_recall(self, fresh_setup, policy,
+                                             query_factory):
+        """Aggressive termination relies on the §5.3 repair loop; recall
+        must still be perfect."""
+        query = query_factory(15)
+        algorithm = BFHMRankJoin(fresh_setup.platform, policy=policy)
+        algorithm.prepare(query)
+        result = algorithm.execute(query)
+        truth = fresh_setup.ground_truth(query, 15)
+        assert result.recall_against(truth) == 1.0
+
+    def test_aggressive_fetches_no_more_buckets(self, fresh_setup):
+        query = q2(10)
+        conservative = BFHMRankJoin(
+            fresh_setup.platform, policy=TerminationPolicy.CONSERVATIVE
+        )
+        conservative.prepare(query)
+        conservative_result = conservative.execute(query)
+        aggressive = BFHMRankJoin(
+            fresh_setup.platform, policy=TerminationPolicy.AGGRESSIVE
+        )
+        aggressive_result = aggressive.execute(query)
+        assert (
+            aggressive_result.details["buckets_fetched"]
+            <= conservative_result.details["buckets_fetched"] + 2
+        )

@@ -1,0 +1,141 @@
+"""BFHM bucket codecs and index layout (§5.1, Fig. 5)."""
+
+import pytest
+
+from repro.common.serialization import decode_float, decode_str
+from repro.core.bfhm.bucket import (
+    META_ROW,
+    Q_BLOB,
+    Q_COUNT,
+    Q_MAX,
+    Q_MIN,
+    BFHMMeta,
+    blob_row_key,
+    decode_blob,
+    decode_bucket_list,
+    decode_reverse_value,
+    encode_blob,
+    encode_bucket_list,
+    encode_reverse_value,
+    reverse_row_key,
+)
+from repro.core.bfhm.index import BFHMIndexBuilder
+from repro.core.indexes import BFHM_TABLE
+from repro.errors import IndexError_
+from repro.relational.binding import load_relation
+from repro.sketches.histogram import score_to_bucket
+from repro.sketches.hybrid import HybridBloomFilter
+from repro.tpch.queries import q1
+
+
+class TestCodecs:
+    def test_blob_roundtrip(self):
+        hybrid = HybridBloomFilter(4096)
+        for i in range(50):
+            hybrid.insert(f"value-{i % 7}")
+        blob = hybrid.to_blob()
+        assert decode_blob(encode_blob(blob)) == blob
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(IndexError_):
+            decode_blob(b"short")
+
+    def test_reverse_value_roundtrip(self):
+        encoded = encode_reverse_value("join-val", 0.375)
+        row = decode_reverse_value("rk", encoded)
+        assert row.row_key == "rk"
+        assert row.join_value == "join-val"
+        assert row.score == 0.375
+
+    def test_bucket_list_roundtrip(self):
+        assert decode_bucket_list(encode_bucket_list([0, 3, 17])) == [0, 3, 17]
+        assert decode_bucket_list(encode_bucket_list([])) == []
+
+    def test_row_keys_sort_by_bucket(self):
+        assert blob_row_key(1) < blob_row_key(2)
+        assert reverse_row_key(1, 5) < reverse_row_key(1, 6)
+        # blob rows (B...) sort apart from reverse rows (R...)
+        assert blob_row_key(99999) < reverse_row_key(0, 0)
+
+    def test_meta_upper_boundary(self):
+        meta = BFHMMeta(num_buckets=10, m_bits=64, buckets=(0, 3))
+        assert meta.upper_boundary(0) == pytest.approx(1.0)
+        assert meta.upper_boundary(3) == pytest.approx(0.7)
+
+
+class TestIndexLayout:
+    def test_blob_rows_cover_all_scores(self, shared_setup):
+        store = shared_setup.platform.store
+        query = q1(1)
+        builder = BFHMIndexBuilder(shared_setup.platform)
+        meta = builder.read_meta(shared_setup.platform, query.left.signature)
+        relation = load_relation(store, query.left)
+        expected_buckets = {
+            score_to_bucket(row.score, meta.num_buckets) for row in relation
+        }
+        assert set(meta.buckets) == expected_buckets
+
+    def test_blob_row_contents(self, shared_setup):
+        store = shared_setup.platform.store
+        query = q1(1)
+        builder = BFHMIndexBuilder(shared_setup.platform)
+        meta = builder.read_meta(shared_setup.platform, query.left.signature)
+        signature = meta.family
+        relation = load_relation(store, query.left)
+        index = store.backing(BFHM_TABLE)
+
+        bucket = meta.buckets[0]
+        members = [r for r in relation
+                   if score_to_bucket(r.score, meta.num_buckets) == bucket]
+        row = index.read_row(blob_row_key(bucket), families={signature})
+        assert decode_float(row.value(signature, Q_MIN)) == pytest.approx(
+            min(m.score for m in members)
+        )
+        assert decode_float(row.value(signature, Q_MAX)) == pytest.approx(
+            max(m.score for m in members)
+        )
+        assert int(decode_str(row.value(signature, Q_COUNT))) == len(members)
+        blob = decode_blob(row.value(signature, Q_BLOB))
+        assert blob.item_count == len(members)
+
+    def test_reverse_mappings_complete(self, shared_setup):
+        """Every indexed tuple appears in exactly one reverse-mapping row,
+        keyed by its bucket and its join value's bit position."""
+        store = shared_setup.platform.store
+        query = q1(1)
+        builder = BFHMIndexBuilder(shared_setup.platform)
+        meta = builder.read_meta(shared_setup.platform, query.left.signature)
+        signature = meta.family
+        index = store.backing(BFHM_TABLE)
+        probe = HybridBloomFilter(meta.m_bits)
+
+        for scored in load_relation(store, query.left):
+            bucket = score_to_bucket(scored.score, meta.num_buckets)
+            position = probe.position(scored.join_value)
+            row = index.read_row(
+                reverse_row_key(bucket, position), families={signature}
+            )
+            value = row.value(signature, scored.row_key)
+            assert value is not None
+            decoded = decode_reverse_value(scored.row_key, value)
+            assert decoded.join_value == scored.join_value
+            assert decoded.score == pytest.approx(scored.score)
+
+    def test_meta_row_fields(self, shared_setup):
+        query = q1(1)
+        builder = BFHMIndexBuilder(shared_setup.platform)
+        meta = builder.read_meta(shared_setup.platform, query.left.signature)
+        assert meta.num_buckets == builder.num_buckets
+        assert meta.m_bits > 0
+        assert list(meta.buckets) == sorted(meta.buckets)
+
+    def test_shared_filter_size_across_relations(self, shared_setup):
+        """Both relations of a query share one m (bitwise-AND needs it)."""
+        query = q1(1)
+        builder = BFHMIndexBuilder(shared_setup.platform)
+        left = builder.read_meta(shared_setup.platform, query.left.signature)
+        right = builder.read_meta(shared_setup.platform, query.right.signature)
+        assert left.m_bits == right.m_bits
+
+    def test_meta_row_key_does_not_collide_with_buckets(self):
+        assert META_ROW not in {blob_row_key(i) for i in range(100000)}

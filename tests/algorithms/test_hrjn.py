@@ -1,0 +1,114 @@
+"""The HRJN operator (§4.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.functions import ProductFunction, SumFunction
+from repro.common.types import ScoredRow
+from repro.core.hrjn import LEFT, RIGHT, HRJNOperator, hrjn_join
+from repro.errors import QueryError
+from repro.relational.naive import naive_rank_join
+
+
+def rows(specs):
+    return [ScoredRow(f"r{i}", value, score) for i, (value, score) in enumerate(specs)]
+
+
+class TestOperator:
+    def test_produces_join_tuples(self):
+        operator = HRJNOperator(SumFunction(), 2)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        produced = operator.add(RIGHT, ScoredRow("r1", "a", 0.8))
+        assert len(produced) == 1
+        assert produced[0].score == pytest.approx(1.7)
+
+    def test_no_join_without_matching_value(self):
+        operator = HRJNOperator(SumFunction(), 2)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        assert operator.add(RIGHT, ScoredRow("r1", "b", 0.8)) == []
+
+    def test_threshold_formula(self):
+        operator = HRJNOperator(SumFunction(), 1)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        operator.add(LEFT, ScoredRow("l2", "b", 0.5))
+        operator.add(RIGHT, ScoredRow("r1", "c", 0.8))
+        operator.add(RIGHT, ScoredRow("r2", "d", 0.6))
+        # S = max(f(s̄_L, ŝ_R), f(ŝ_L, s̄_R)) = max(0.5+0.8, 0.9+0.6)
+        assert operator.threshold() == pytest.approx(1.5)
+
+    def test_threshold_none_until_both_sides_seen(self):
+        operator = HRJNOperator(SumFunction(), 1)
+        assert operator.threshold() is None
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        assert operator.threshold() is None
+
+    def test_termination_at_threshold(self):
+        operator = HRJNOperator(SumFunction(), 1)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        operator.add(RIGHT, ScoredRow("r1", "a", 0.9))
+        # result 1.8 >= threshold 1.8: nothing deeper can beat it
+        assert operator.terminated()
+
+    def test_not_terminated_without_k_results(self):
+        operator = HRJNOperator(SumFunction(), 5)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        operator.add(RIGHT, ScoredRow("r1", "a", 0.9))
+        assert not operator.terminated()
+
+    def test_exhausted_inputs_terminate(self):
+        operator = HRJNOperator(SumFunction(), 5)
+        assert operator.terminated(exhausted=(True, True))
+
+    def test_unsorted_input_rejected(self):
+        operator = HRJNOperator(SumFunction(), 1)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.5))
+        with pytest.raises(QueryError):
+            operator.add(LEFT, ScoredRow("l2", "a", 0.9))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(QueryError):
+            HRJNOperator(SumFunction(), 0)
+        with pytest.raises(QueryError):
+            HRJNOperator(SumFunction(), 1).add(7, ScoredRow("x", "a", 0.5))
+
+    def test_tuples_seen(self):
+        operator = HRJNOperator(SumFunction(), 1)
+        operator.add(LEFT, ScoredRow("l1", "a", 0.9))
+        operator.add(RIGHT, ScoredRow("r1", "a", 0.9))
+        assert operator.tuples_seen() == (1, 1)
+
+
+class TestHrjnJoin:
+    def test_matches_naive_on_fixed_input(self):
+        left = rows([("a", 0.9), ("b", 0.8), ("a", 0.3)])
+        right = rows([("a", 0.7), ("b", 0.95), ("c", 0.2)])
+        results, _ = hrjn_join(left, right, SumFunction(), 2)
+        truth = naive_rank_join(left, right, SumFunction(), 2)
+        assert [t.score for t in results] == [t.score for t in truth]
+
+    def test_early_termination_saves_depth(self):
+        # a perfect top pair lets HRJN stop after a handful of tuples
+        left = rows([("hit", 1.0)] + [(f"l{i}", 0.5 - i / 1000) for i in range(200)])
+        right = rows([("hit", 1.0)] + [(f"r{i}", 0.5 - i / 1000) for i in range(200)])
+        _, (seen_left, seen_right) = hrjn_join(left, right, SumFunction(), 1)
+        assert seen_left + seen_right < 20
+
+    relation = st.lists(
+        st.tuples(st.sampled_from("abcdef"),
+                  st.floats(min_value=0.0, max_value=1.0)),
+        min_size=0, max_size=40,
+    )
+
+    @given(relation, relation, st.integers(min_value=1, max_value=10),
+           st.sampled_from(["sum", "product"]))
+    @settings(max_examples=60, deadline=None)
+    def test_always_matches_naive(self, left_spec, right_spec, k, fn_name):
+        function = SumFunction() if fn_name == "sum" else ProductFunction()
+        left = rows(left_spec)
+        right = [ScoredRow(f"s{i}", v, s) for i, (v, s) in enumerate(right_spec)]
+        results, _ = hrjn_join(left, right, function, k)
+        truth = naive_rank_join(left, right, function, k)
+        assert [round(t.score, 9) for t in results] == [
+            round(t.score, 9) for t in truth
+        ]

@@ -1,0 +1,186 @@
+"""N-way rank joins (§3's multi-way extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import build_setup
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.common.functions import SumFunction
+from repro.common.multiway import MultiJoinTuple, combine_rows
+from repro.common.serialization import encode_float, encode_str
+from repro.common.types import ScoredRow
+from repro.core.hrjn_multi import MultiWayHRJN, hrjn_join_multi
+from repro.core.isl_multi import MultiRankJoinQuery, MultiWayISLRankJoin
+from repro.errors import QueryError
+from repro.relational.binding import RelationBinding
+from repro.relational.multiway import full_join_multi, naive_rank_join_multi
+from repro.store.client import Put
+
+
+def rows(specs, prefix):
+    return [ScoredRow(f"{prefix}{i}", v, s) for i, (v, s) in enumerate(specs)]
+
+
+class TestMultiJoinTuple:
+    def test_combine_rows(self):
+        t = combine_rows(
+            [ScoredRow("a1", "x", 0.5), ScoredRow("b1", "x", 0.25),
+             ScoredRow("c1", "x", 0.25)],
+            SumFunction(),
+        )
+        assert t.score == pytest.approx(1.0)
+        assert t.keys == ("a1", "b1", "c1")
+        assert t.arity == 3
+
+    def test_mismatched_join_values_rejected(self):
+        with pytest.raises(ValueError):
+            combine_rows(
+                [ScoredRow("a1", "x", 0.5), ScoredRow("b1", "y", 0.5)],
+                SumFunction(),
+            )
+
+
+class TestNaiveMultiway:
+    def test_three_way_join(self):
+        r1 = rows([("a", 0.9), ("b", 0.5)], "x")
+        r2 = rows([("a", 0.8), ("a", 0.2)], "y")
+        r3 = rows([("a", 0.7), ("c", 0.9)], "z")
+        results = full_join_multi([r1, r2, r3], SumFunction())
+        # only 'a' appears in all three: 1 x 2 x 1 combinations
+        assert len(results) == 2
+        assert max(t.score for t in results) == pytest.approx(0.9 + 0.8 + 0.7)
+
+    def test_degenerate_arity_rejected(self):
+        with pytest.raises(QueryError):
+            full_join_multi([rows([("a", 1.0)], "x")], SumFunction())
+
+    def test_two_way_reduces_to_pairwise(self):
+        from repro.relational.naive import naive_rank_join
+
+        r1 = rows([("a", 0.9), ("b", 0.5), ("a", 0.1)], "x")
+        r2 = rows([("a", 0.8), ("b", 0.7)], "y")
+        multi = naive_rank_join_multi([r1, r2], SumFunction(), 3)
+        pair = naive_rank_join(r1, r2, SumFunction(), 3)
+        assert [t.score for t in multi] == pytest.approx(
+            [t.score for t in pair]
+        )
+
+
+class TestMultiWayHRJN:
+    def test_threshold_generalizes(self):
+        operator = MultiWayHRJN(3, SumFunction(), 1)
+        operator.add(0, ScoredRow("a", "v", 0.9))
+        operator.add(1, ScoredRow("b", "w", 0.8))
+        operator.add(2, ScoredRow("c", "u", 0.7))
+        operator.add(0, ScoredRow("a2", "t", 0.5))
+        # S = max(f(0.5,0.8,0.7), f(0.9,0.8,0.7)x with one lowered...)
+        assert operator.threshold() == pytest.approx(
+            max(0.5 + 0.8 + 0.7, 0.9 + 0.8 + 0.7, 0.9 + 0.8 + 0.7)
+        )
+
+    def test_invalid_arity_and_index(self):
+        with pytest.raises(QueryError):
+            MultiWayHRJN(1, SumFunction(), 1)
+        operator = MultiWayHRJN(2, SumFunction(), 1)
+        with pytest.raises(QueryError):
+            operator.add(5, ScoredRow("a", "v", 0.5))
+
+    relation = st.lists(
+        st.tuples(st.sampled_from("abcd"),
+                  st.floats(min_value=0.0, max_value=1.0)),
+        min_size=0, max_size=15,
+    )
+
+    @given(relation, relation, relation, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_three_way_matches_naive(self, s1, s2, s3, k):
+        relations = [rows(s1, "x"), rows(s2, "y"), rows(s3, "z")]
+        results, _ = hrjn_join_multi(relations, SumFunction(), k)
+        truth = naive_rank_join_multi(relations, SumFunction(), k)
+        assert [round(t.score, 9) for t in results] == [
+            round(t.score, 9) for t in truth
+        ]
+
+    def test_early_termination(self):
+        relations = [
+            rows([("hit", 1.0)] + [(f"v{i}", 0.4 - i / 1000)
+                                   for i in range(100)], p)
+            for p in ("x", "y", "z")
+        ]
+        _, seen = hrjn_join_multi(relations, SumFunction(), 1)
+        assert sum(seen) < 30
+
+
+class TestMultiWayISL:
+    @pytest.fixture()
+    def three_day_logs(self):
+        """Three per-day log tables (the §1 motivating scenario, n=3)."""
+        setup = build_setup(EC2_PROFILE, micro_scale=0.05, seed=5)
+        import random
+
+        rng = random.Random(3)
+        store = setup.platform.store
+        phrases = [f"phrase-{i:03d}" for i in range(40)]
+        for day in ("day1", "day2", "day3"):
+            htable = store.create_table(day, {"d"})
+            for i, phrase in enumerate(phrases):
+                if i > 0 and rng.random() < 0.2:
+                    continue  # not every phrase appears every day
+                # phrase-000 tops every day: the top-1 join is found early
+                score = 1.0 if i == 0 else round(rng.uniform(0.01, 0.9), 6)
+                htable.put(
+                    Put(f"{day}-{i:04d}")
+                    .add("d", "phrase", encode_str(phrase))
+                    .add("d", "freq", encode_float(score))
+                )
+            htable.flush()
+        inputs = [
+            RelationBinding(day, join_column="phrase", score_column="freq")
+            for day in ("day1", "day2", "day3")
+        ]
+        return setup, MultiRankJoinQuery.of(inputs, "sum", 5)
+
+    def test_three_way_isl_matches_naive(self, three_day_logs):
+        setup, query = three_day_logs
+        from repro.relational.binding import load_relation
+
+        relations = [
+            load_relation(setup.platform.store, binding)
+            for binding in query.inputs
+        ]
+        truth = naive_rank_join_multi(relations, query.function, query.k)
+        algorithm = MultiWayISLRankJoin(setup.platform)
+        result = algorithm.execute(query)
+        assert result.recall_against(truth) == 1.0
+        assert result.scores() == pytest.approx([t.score for t in truth])
+
+    def test_early_termination_saves_reads(self, three_day_logs):
+        setup, query = three_day_logs
+        algorithm = MultiWayISLRankJoin(setup.platform, batch_rows=4)
+        from dataclasses import replace
+
+        query = replace(query, k=1)  # a perfect top-1 terminates shallow
+        result = algorithm.execute(query)
+        total_rows = sum(
+            len(list(setup.platform.store.backing(b.table).all_rows()))
+            for b in query.inputs
+        )
+        seen = sum(
+            v for name, v in result.details.items()
+            if name.startswith("tuples_seen_")
+        )
+        assert seen < total_rows
+
+    def test_query_validation(self):
+        with pytest.raises(QueryError):
+            MultiRankJoinQuery.of(
+                [RelationBinding("only", join_column="j", score_column="s")],
+                "sum", 1,
+            )
+        with pytest.raises(QueryError):
+            MultiRankJoinQuery.of(
+                [RelationBinding("a", join_column="j", score_column="s"),
+                 RelationBinding("b", join_column="j", score_column="s")],
+                "sum", 0,
+            )

@@ -1,0 +1,57 @@
+"""The engine facade and the SQL path end to end."""
+
+import pytest
+
+from repro.core.isl import ISLRankJoin
+from repro.errors import PlanningError
+from repro.tpch.queries import Q1_SQL, Q2_SQL, q1
+
+
+class TestSQLPath:
+    def test_q1_sql_equals_bound_query(self, shared_setup):
+        engine = shared_setup.engine
+        via_sql = engine.sql(Q1_SQL.format(k=10), algorithm="bfhm")
+        via_spec = engine.execute(q1(10), algorithm="bfhm")
+        assert via_sql.scores() == via_spec.scores()
+
+    def test_q2_sql_runs(self, shared_setup):
+        result = shared_setup.engine.sql(Q2_SQL.format(k=5), algorithm="isl")
+        assert len(result.tuples) == 5
+
+    def test_sql_weighted_sum(self, shared_setup):
+        result = shared_setup.engine.sql(
+            "SELECT * FROM orders O, lineitem L WHERE O.orderkey = L.orderkey "
+            "ORDER BY 0.8 * O.totalprice + 0.2 * L.extendedprice STOP AFTER 5",
+            algorithm="isl",
+        )
+        assert len(result.tuples) == 5
+        scores = result.scores()
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestEngine:
+    def test_unknown_algorithm_rejected(self, shared_setup):
+        with pytest.raises(PlanningError):
+            shared_setup.engine.execute(q1(1), algorithm="quantum")
+
+    def test_algorithm_instances_cached(self, shared_setup):
+        engine = shared_setup.engine
+        assert engine.algorithm("isl") is engine.algorithm("ISL")
+
+    def test_register_custom_instance(self, shared_setup):
+        custom = ISLRankJoin(shared_setup.platform, batch_rows=11)
+        shared_setup.engine.register("isl-tuned", custom)
+        assert shared_setup.engine.algorithm("isl-tuned") is custom
+
+    def test_prepare_returns_reports(self, tiny_engine):
+        reports = tiny_engine.prepare(q1(1), algorithms=["isl", "bfhm"])
+        assert len(reports) == 4  # two relations x two algorithms
+        assert all(r.index_bytes > 0 for r in reports)
+
+    def test_algorithm_kwargs_forwarded(self, tiny_engine):
+        from repro.query.engine import RankJoinEngine
+
+        engine = RankJoinEngine(
+            tiny_engine.platform, isl={"batch_rows": 13}
+        )
+        assert engine.algorithm("isl").batch_rows == 13

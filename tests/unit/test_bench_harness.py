@@ -1,0 +1,82 @@
+"""The benchmark harness and report formatting."""
+
+import pytest
+
+from repro.bench.harness import SeriesPoint, build_setup, run_point, run_series
+from repro.bench.reporting import format_recall, format_series, format_table
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.tpch.queries import q1
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(EC2_PROFILE, micro_scale=0.05, seed=3,
+                       prebuild=["isl"], prebuild_query=q1(1))
+
+
+class TestHarness:
+    def test_build_setup_loads_and_prebuilds(self, setup):
+        assert setup.platform.store.has_table("lineitem")
+        assert setup.platform.store.has_table("isl_idx")
+        assert setup.data.table_counts["part"] >= 2
+
+    def test_ground_truth_sorted(self, setup):
+        truth = setup.ground_truth(q1(5), 5)
+        scores = [t.score for t in truth]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_run_point(self, setup):
+        point = run_point(setup, q1(3), "isl")
+        assert point.algorithm == "ISL"
+        assert point.k == 3
+        assert point.recall == 1.0
+        assert point.time_s > 0
+        assert point.dollars == pytest.approx(point.kv_reads * 0.01 / 50)
+
+    def test_run_series_shape(self, setup):
+        series = run_series(setup, q1, [1, 5], ["isl"])
+        assert list(series) == ["isl"]
+        assert [p.k for p in series["isl"]] == [1, 5]
+
+    def test_algorithm_kwargs_flow_through(self):
+        custom = build_setup(EC2_PROFILE, micro_scale=0.05, seed=3,
+                             isl={"batch_rows": 17})
+        assert custom.engine.algorithm("isl").batch_rows == 17
+
+
+class TestReporting:
+    def _points(self):
+        return {
+            "isl": [SeriesPoint("ISL", 1, 0.5, 100, 10, 0.002, 1.0),
+                    SeriesPoint("ISL", 10, 1.5, 300, 30, 0.006, 1.0)],
+            "bfhm": [SeriesPoint("BFHM", 1, 0.2, 50, 5, 0.001, 1.0),
+                     SeriesPoint("BFHM", 10, 0.9, 150, 15, 0.003, 0.9)],
+        }
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["r1"], ["c1", "c2"], [["10", "2000"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "c1" in lines[1] and "c2" in lines[1]
+        assert "2000" in lines[3]
+
+    def test_format_series_rows_are_ks(self):
+        text = format_series("panel", self._points(), lambda p: p.time_s)
+        assert "k=1" in text and "k=10" in text
+        assert "isl" in text and "bfhm" in text
+        assert "0.5" in text
+
+    def test_format_series_scientific_for_big_values(self):
+        points = {"a": [SeriesPoint("A", 1, 123456.0, 0, 0, 0.0, 1.0)]}
+        text = format_series("p", points, lambda p: p.time_s)
+        assert "e+05" in text
+
+    def test_format_recall_reports_minimum(self):
+        text = format_recall(self._points())
+        assert "isl: min recall 1.000" in text
+        assert "bfhm: min recall 0.900" in text
+
+    def test_zero_formatting(self):
+        points = {"a": [SeriesPoint("A", 1, 0.0, 0, 0, 0.0, 1.0)]}
+        text = format_series("p", points, lambda p: p.time_s)
+        assert " 0" in text

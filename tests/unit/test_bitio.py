@@ -1,0 +1,73 @@
+"""Bit-level I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BitstreamError
+from repro.sketches.bitio import BitReader, BitWriter
+
+
+class TestBitRoundTrips:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_single_bits(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue(), writer.bit_count)
+        assert [reader.read_bit() for _ in bits] == bits
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**20),
+                              st.integers(min_value=21, max_value=24)),
+                    max_size=50))
+    def test_fixed_width_values(self, pairs):
+        writer = BitWriter()
+        for value, width in pairs:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue(), writer.bit_count)
+        assert [reader.read_bits(w) for _, w in pairs] == [v for v, _ in pairs]
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=50))
+    def test_unary(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue(), writer.bit_count)
+        assert [reader.read_unary() for _ in values] == values
+
+
+class TestErrors:
+    def test_read_past_end(self):
+        reader = BitReader(b"", 0)
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    def test_bit_count_exceeding_buffer(self):
+        with pytest.raises(BitstreamError):
+            BitReader(b"\x00", 9)
+
+    def test_negative_unary(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_unary(-1)
+
+    def test_negative_width(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(1, -2)
+
+
+class TestAccounting:
+    def test_bit_count_tracks_writes(self):
+        writer = BitWriter()
+        writer.write_bits(5, 3)
+        writer.write_unary(2)  # 3 more bits
+        assert writer.bit_count == 6
+
+    def test_padding_to_byte_boundary(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.getvalue() == b"\x80"
+
+    def test_remaining(self):
+        reader = BitReader(b"\xff", 8)
+        reader.read_bits(3)
+        assert reader.remaining == 5

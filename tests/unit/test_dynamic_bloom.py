@@ -1,0 +1,158 @@
+"""Dynamic Bloom filters (the §8 future-work extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CounterUnderflowError, SketchError
+from repro.sketches.bloom import SingleHashBloomFilter
+from repro.sketches.dynamic import DynamicBloomFilter, static_overload_fp_rate
+
+keys = st.text(min_size=1, max_size=12)
+
+
+class TestBasics:
+    def test_invalid_config(self):
+        with pytest.raises(SketchError):
+            DynamicBloomFilter(0, 10)
+        with pytest.raises(SketchError):
+            DynamicBloomFilter(10, 0)
+
+    @given(st.lists(keys, max_size=120))
+    @settings(max_examples=40)
+    def test_no_false_negatives(self, items):
+        dynamic = DynamicBloomFilter(256, 16)
+        for item in items:
+            dynamic.insert(item)
+        assert all(item in dynamic for item in items)
+
+    def test_slices_open_at_capacity(self):
+        dynamic = DynamicBloomFilter(256, 10)
+        for i in range(35):
+            dynamic.insert(f"item-{i}")
+        assert len(dynamic.slices) == 4  # 10+10+10+5
+        assert dynamic.item_count == 35
+
+    def test_count_sums_across_slices(self):
+        dynamic = DynamicBloomFilter(1 << 16, 2)
+        for _ in range(5):
+            dynamic.insert("dup")
+        assert dynamic.count("dup") >= 5
+
+    def test_position_stable_across_slices(self):
+        dynamic = DynamicBloomFilter(512, 1)
+        first = dynamic.insert("x")
+        second = dynamic.insert("x")  # lands in a new slice
+        assert first == second == dynamic.position("x")
+
+    def test_remove(self):
+        dynamic = DynamicBloomFilter(1 << 16, 2)
+        dynamic.insert("a")
+        dynamic.insert("a")
+        dynamic.remove("a")
+        assert "a" in dynamic
+        dynamic.remove("a")
+        with pytest.raises(CounterUnderflowError):
+            dynamic.remove("a")
+
+
+class TestFPBehaviour:
+    def test_per_slice_load_stays_bounded_under_overload(self):
+        """A static filter sized for 50 items degrades 8x past its target
+        at 10x load; every dynamic slice stays at its design point."""
+        design, actual, target = 50, 500, 0.05
+        static_fp = static_overload_fp_rate(design, actual, target)
+        dynamic = DynamicBloomFilter.for_fp_rate(design, target)
+        for i in range(actual):
+            dynamic.insert(f"item-{i}")
+        assert static_fp > 4 * target  # static probe probability blows up
+        per_slice = max(s.probe_probability() for s in dynamic.slices)
+        assert per_slice == pytest.approx(target, rel=0.3)
+        # the chain's *effective* rate matches a same-total-bits static
+        # filter — the win is per-slice boundedness + incremental updates,
+        # not a smaller union FP (single-hash filters compose linearly)
+        assert dynamic.effective_fp_rate() == pytest.approx(static_fp, rel=0.15)
+
+    def test_incremental_writeback_touches_one_slice(self):
+        """The §8 time/bandwidth motivation: an online insert dirties only
+        the active slice, so the write-back blob is a fraction of the full
+        bucket blob a static filter would re-ship."""
+        dynamic = DynamicBloomFilter.for_fp_rate(50, 0.05)
+        for i in range(500):
+            dynamic.insert(f"item-{i}")
+        before = [bytes(blob.positions_payload) for blob in dynamic.to_blobs()]
+        dynamic.insert("one-more")
+        after = dynamic.to_blobs()
+        changed = [
+            i for i, blob in enumerate(after)
+            if i >= len(before) or bytes(blob.positions_payload) != before[i]
+        ]
+        assert len(changed) == 1  # only the active slice
+        changed_bytes = after[changed[0]].serialized_size()
+        total_bytes = sum(blob.serialized_size() for blob in after)
+        assert changed_bytes < total_bytes / 3
+
+    def test_empty_filter_fp_zero(self):
+        assert DynamicBloomFilter(64, 4).effective_fp_rate() == 0.0
+
+
+class TestJoins:
+    def test_cardinality_against_dynamic(self):
+        a = DynamicBloomFilter(1 << 16, 4)
+        b = DynamicBloomFilter(1 << 16, 4)
+        for _ in range(6):
+            a.insert("v")  # spans 2 slices
+        for _ in range(3):
+            b.insert("v")
+        assert a.join_cardinality(b) == pytest.approx(18, rel=0.05)
+
+    def test_intersect_with_static_filter(self):
+        dynamic = DynamicBloomFilter(4096, 2)
+        static = SingleHashBloomFilter(4096)
+        dynamic.insert("x")
+        dynamic.insert("y")
+        dynamic.insert("z")  # second slice
+        static.add("z")
+        from repro.sketches.hybrid import HybridBloomFilter
+
+        hybrid = HybridBloomFilter(4096)
+        hybrid.insert("z")
+        assert dynamic.position("z") in dynamic.intersect_positions(hybrid)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(SketchError):
+            DynamicBloomFilter(64, 2).intersect_positions(
+                DynamicBloomFilter(128, 2)
+            )
+
+    def test_disjoint_estimate_zero(self):
+        a = DynamicBloomFilter(1 << 20, 4)
+        b = DynamicBloomFilter(1 << 20, 4)
+        a.insert("only-a")
+        b.insert("only-b")
+        assert a.join_cardinality(b) == 0.0
+
+
+class TestSerialization:
+    @given(st.lists(keys, max_size=60))
+    @settings(max_examples=30)
+    def test_blob_roundtrip(self, items):
+        dynamic = DynamicBloomFilter(2048, 8)
+        for item in items:
+            dynamic.insert(item)
+        restored = DynamicBloomFilter.from_blobs(dynamic.to_blobs(), 8)
+        assert restored.merged_counters() == dynamic.merged_counters()
+        assert restored.item_count == dynamic.item_count
+
+    def test_empty_blob_list_rejected(self):
+        with pytest.raises(SketchError):
+            DynamicBloomFilter.from_blobs([], 8)
+
+    def test_size_grows_with_slices(self):
+        small = DynamicBloomFilter(2048, 100)
+        large = DynamicBloomFilter(2048, 10)
+        for i in range(80):
+            small.insert(f"i{i}")
+            large.insert(f"i{i}")
+        assert len(large.slices) > len(small.slices)
+        assert large.serialized_size() >= small.serialized_size()

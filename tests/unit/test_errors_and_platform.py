@@ -1,0 +1,60 @@
+"""Error hierarchy and the Platform facade."""
+
+import pytest
+
+from repro import errors
+from repro.cluster.costmodel import LC_PROFILE
+from repro.platform import Platform
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("subclass", [
+        errors.StoreError, errors.MapReduceError, errors.QueryError,
+        errors.IndexError_, errors.SketchError,
+    ])
+    def test_all_roots_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_specific_errors_carry_context(self):
+        error = errors.TableNotFoundError("missing")
+        assert error.table_name == "missing"
+        assert "missing" in str(error)
+
+        error = errors.ColumnFamilyNotFoundError("t", "cf")
+        assert (error.table_name, error.family) == ("t", "cf")
+
+        error = errors.ParseError("bad token", position=17)
+        assert error.position == 17
+        assert "17" in str(error)
+
+        error = errors.IndexNotBuiltError("bfhm:x")
+        assert error.index_name == "bfhm:x"
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CounterUnderflowError("x")
+
+
+class TestPlatform:
+    def test_wiring(self):
+        platform = Platform(LC_PROFILE)
+        assert platform.cost_model is LC_PROFILE
+        assert platform.store.ctx is platform.ctx
+        assert platform.hdfs.ctx is platform.ctx
+        assert platform.runner.store is platform.store
+        assert len(platform.ctx.cluster.workers) == LC_PROFILE.worker_nodes
+
+    def test_reset_metrics_keeps_data(self):
+        platform = Platform(LC_PROFILE)
+        htable = platform.store.create_table("t", {"d"})
+        from repro.store.client import Get, Put
+
+        htable.put(Put("r").add("d", "c", b"v"))
+        platform.reset_metrics()
+        assert platform.metrics.network_bytes == 0
+        assert htable.get(Get("r")).value("d", "c") == b"v"
+
+    def test_default_profile_is_ec2(self):
+        from repro.cluster.costmodel import EC2_PROFILE
+
+        assert Platform().cost_model is EC2_PROFILE

@@ -1,0 +1,67 @@
+"""Deterministic hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketches.hashing import double_hashes, fnv1a_64, hash_to_range, mix64
+
+
+class TestFNV:
+    def test_known_vector(self):
+        # standard FNV-1a test vectors
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_str_and_bytes_agree(self):
+        assert fnv1a_64("hello") == fnv1a_64(b"hello")
+
+    @given(st.binary(max_size=64))
+    def test_deterministic(self, data):
+        assert fnv1a_64(data) == fnv1a_64(data)
+
+    @given(st.binary(max_size=64))
+    def test_fits_64_bits(self, data):
+        assert 0 <= fnv1a_64(data) < 2**64
+
+
+class TestMix:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_mix_fits_64_bits(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    def test_mix_changes_value(self):
+        assert mix64(1) != 1
+
+
+class TestHashToRange:
+    @given(st.text(max_size=32), st.integers(min_value=1, max_value=10_000))
+    def test_in_range(self, item, modulus):
+        assert 0 <= hash_to_range(item, modulus) < modulus
+
+    def test_seed_changes_stream(self):
+        values = {hash_to_range("x", 1_000_000, seed=s) for s in range(20)}
+        assert len(values) > 15  # streams are decorrelated
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            hash_to_range("x", 0)
+
+    def test_roughly_uniform(self):
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[hash_to_range(f"key-{i}", 10)] += 1
+        assert min(buckets) > 350  # each bucket near 500
+
+
+class TestDoubleHashes:
+    @given(st.text(max_size=32), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=1000))
+    def test_count_and_range(self, item, count, modulus):
+        values = double_hashes(item, count, modulus)
+        assert len(values) == count
+        assert all(0 <= v < modulus for v in values)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            double_hashes("x", 0, 10)

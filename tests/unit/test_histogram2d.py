@@ -1,0 +1,87 @@
+"""The DRJN 2-D histogram."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.sketches.histogram2d import DRJNHistogram
+
+
+def build(pairs, partitions=8, buckets=10) -> DRJNHistogram:
+    histogram = DRJNHistogram(partitions, buckets)
+    for join_value, score in pairs:
+        histogram.add(join_value, score)
+    return histogram
+
+
+class TestConstruction:
+    def test_invalid_config(self):
+        with pytest.raises(SketchError):
+            DRJNHistogram(0, 10)
+        with pytest.raises(SketchError):
+            DRJNHistogram(10, 0)
+
+    def test_add_routes_to_cells(self):
+        histogram = DRJNHistogram(4, 10)
+        partition, bucket = histogram.add("alpha", 0.95)
+        assert bucket == 0
+        assert histogram.score_row(0).cells[partition].count == 1
+
+    def test_distinct_counting(self):
+        histogram = build([("a", 0.5), ("a", 0.6), ("b", 0.5)], partitions=1)
+        assert histogram.distinct_count(0) == 2
+
+    def test_non_empty_buckets(self):
+        histogram = build([("a", 0.95), ("b", 0.05)])
+        assert histogram.non_empty_buckets() == [0, 9]
+
+
+class TestJoinEstimation:
+    def test_uniform_assumption_exact_for_single_value(self):
+        left = build([("v", 0.95)] * 3, partitions=1)
+        right = build([("v", 0.95)] * 4, partitions=1)
+        # one distinct value: c1*c2/1 = 12
+        assert left.estimate_join(right, 0, 0) == pytest.approx(12.0)
+
+    def test_uniform_assumption_divides_by_distinct(self):
+        left = build([("a", 0.95), ("b", 0.95)], partitions=1)
+        right = build([("a", 0.95), ("b", 0.95)], partitions=1)
+        # 2 tuples x 2 tuples over 2 distinct values = 2 expected pairs
+        assert left.estimate_join(right, 0, 0) == pytest.approx(2.0)
+
+    def test_disjoint_partitions_estimate_zero(self):
+        left = build([("a", 0.95)], partitions=64)
+        right = build([("zzz", 0.95)], partitions=64)
+        if left.join_partition("a") != right.join_partition("zzz"):
+            assert left.estimate_join(right, 0, 0) == 0.0
+
+    def test_empty_bucket_estimates_zero(self):
+        left = build([("a", 0.95)])
+        right = build([("a", 0.05)])
+        assert left.estimate_join(right, 0, 0) == 0.0
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdef"),
+                              st.floats(min_value=0.01, max_value=1.0)),
+                    min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_estimates_nonnegative(self, pairs):
+        left = build(pairs)
+        right = build(pairs)
+        for bucket in left.non_empty_buckets():
+            assert left.estimate_join(right, bucket, bucket) >= 0.0
+
+
+class TestSizing:
+    def test_serialized_size_grows_with_cells(self):
+        small = build([("a", 0.95)])
+        large = build([(f"v{i}", i / 100 + 0.005) for i in range(90)])
+        assert large.serialized_size() > small.serialized_size()
+
+    def test_index_is_tiny(self):
+        # §7.2: DRJN's index is KB-scale where the others are GB-scale
+        histogram = build(
+            [(f"v{i % 50}", (i % 97 + 1) / 100) for i in range(5000)],
+            partitions=64, buckets=100,
+        )
+        assert histogram.serialized_size() < 200_000

@@ -1,0 +1,182 @@
+"""The MapReduce engine: phases, combiners, locality, accounting."""
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.errors import JobConfigurationError
+from repro.mapreduce.job import (
+    CollectOutput,
+    HDFSInput,
+    HDFSOutput,
+    Job,
+    TableInput,
+    TableOutput,
+    UnionTableInput,
+)
+from repro.platform import Platform
+from repro.store.client import Put
+
+
+@pytest.fixture()
+def platform():
+    platform = Platform(EC2_PROFILE)
+    htable = platform.store.create_table("words", {"d"}, split_keys=["m"])
+    docs = {
+        "doc1": "the quick brown fox",
+        "doc2": "the lazy dog",
+        "zdoc3": "the quick dog",
+    }
+    for key, text in docs.items():
+        htable.put(Put(key).add("d", "text", text.encode()))
+    htable.flush()
+    return platform
+
+
+def wordcount_job(output=None) -> Job:
+    def map_fn(_key, row, task):
+        for word in row.value("d", "text").decode().split():
+            task.emit(word, 1)
+            task.bump("words_mapped")
+
+    def reduce_fn(word, counts, task):
+        task.emit(word, sum(counts))
+
+    return Job(
+        name="wordcount",
+        input_source=TableInput.of("words", {"d"}),
+        map_fn=map_fn,
+        reduce_fn=reduce_fn,
+        num_reducers=3,
+        output=output or CollectOutput(),
+    )
+
+
+class TestWordCount:
+    def test_correct_counts(self, platform):
+        result = platform.runner.run(wordcount_job())
+        counts = dict(result.collected)
+        assert counts == {"the": 3, "quick": 2, "brown": 1, "fox": 1,
+                          "lazy": 1, "dog": 2}
+
+    def test_counters(self, platform):
+        result = platform.runner.run(wordcount_job())
+        assert result.counters["words_mapped"] == 10
+
+    def test_task_counts(self, platform):
+        result = platform.runner.run(wordcount_job())
+        assert result.map_tasks >= 1  # one per non-empty region
+        assert result.reduce_tasks >= 1
+
+    def test_combiner_reduces_shuffle(self, platform):
+        plain = platform.runner.run(wordcount_job())
+
+        def combiner(word, counts, task):
+            task.emit(word, sum(counts))
+
+        job = wordcount_job()
+        job.combiner_fn = combiner
+        combined = platform.runner.run(job)
+        assert dict(combined.collected) == dict(plain.collected)
+        assert combined.shuffle_bytes <= plain.shuffle_bytes
+
+
+class TestJobValidation:
+    def test_zero_reducers_rejected(self, platform):
+        with pytest.raises(JobConfigurationError):
+            Job("bad", TableInput.of("words"), lambda *a: None, num_reducers=0)
+
+    def test_combiner_without_reducer_rejected(self, platform):
+        with pytest.raises(JobConfigurationError):
+            Job("bad", TableInput.of("words"), lambda *a: None,
+                combiner_fn=lambda *a: None)
+
+
+class TestMapOnly:
+    def test_map_only_table_output(self, platform):
+        def map_fn(key, row, task):
+            put = Put(key.upper())
+            put.add("d", "copy", row.value("d", "text"))
+            task.emit(put.row, put)
+
+        platform.store.create_table("copies", {"d"})
+        job = Job("copy", TableInput.of("words"), map_fn,
+                  output=TableOutput("copies"))
+        platform.runner.run(job)
+        copies = list(platform.store.backing("copies").all_rows())
+        assert len(copies) == 3
+        assert copies[0].row == "DOC1"
+
+    def test_map_finish_hook_and_state(self, platform):
+        def map_fn(_key, _row, task):
+            task.state["rows"] = task.state.get("rows", 0) + 1
+
+        def map_finish(task):
+            task.emit("rows_in_split", task.state["rows"])
+
+        job = Job("finisher", TableInput.of("words"), map_fn,
+                  map_finish_fn=map_finish)
+        result = platform.runner.run(job)
+        assert sum(v for _, v in result.collected) == 3
+
+
+class TestInputs:
+    def test_hdfs_input(self, platform):
+        platform.hdfs.write_file("nums", [[i] for i in range(10)])
+
+        def map_fn(_index, record, task):
+            task.emit("sum", record[0])
+
+        def reduce_fn(_key, values, task):
+            task.emit("total", sum(values))
+
+        job = Job("sum", HDFSInput("nums"), map_fn, reduce_fn, num_reducers=1)
+        result = platform.runner.run(job)
+        assert result.collected == [("total", 45)]
+
+    def test_union_input_tags_sources(self, platform):
+        other = platform.store.create_table("words2", {"d"})
+        other.put(Put("x").add("d", "text", b"hello"))
+        other.flush()
+
+        def map_fn(_key, tagged, task):
+            table_name, _row = tagged
+            task.emit(table_name, 1)
+
+        def reduce_fn(table_name, ones, task):
+            task.emit(table_name, sum(ones))
+
+        job = Job("tagcount", UnionTableInput.of("words", "words2"),
+                  map_fn, reduce_fn, num_reducers=1)
+        counts = dict(platform.runner.run(job).collected)
+        assert counts == {"words": 3, "words2": 1}
+
+
+class TestAccounting:
+    def test_job_startup_dominates_empty_job(self, platform):
+        before = platform.metrics.snapshot()
+        platform.runner.run(wordcount_job())
+        delta = platform.metrics.snapshot() - before
+        assert delta.sim_time_s >= platform.cost_model.mr_job_startup_s
+
+    def test_table_scan_charges_kv_reads(self, platform):
+        before = platform.metrics.snapshot()
+        platform.runner.run(wordcount_job())
+        delta = platform.metrics.snapshot() - before
+        assert delta.kv_reads == 3  # one cell per doc
+
+    def test_hdfs_input_charges_no_kv_reads(self, platform):
+        platform.hdfs.write_file("f", [[1], [2]])
+        platform.reset_metrics()
+        job = Job("noop", HDFSInput("f"), lambda *a: None)
+        platform.runner.run(job)
+        assert platform.metrics.kv_reads == 0
+
+    def test_hdfs_output_written(self, platform):
+        job = wordcount_job(output=HDFSOutput("out"))
+        platform.runner.run(job)
+        words = {record[0] for record in platform.hdfs.read_file("out")}
+        assert "the" in words
+
+    def test_reducer_memory_tracked(self, platform):
+        platform.runner.run(wordcount_job())
+        assert platform.metrics.counters.get("reducer_peak_bytes", 0) > 0

@@ -1,0 +1,134 @@
+"""The SQL-dialect parser (§1.1 syntax)."""
+
+import pytest
+
+from repro.common.functions import (
+    MaxFunction,
+    MinFunction,
+    ProductFunction,
+    SumFunction,
+    WeightedSumFunction,
+)
+from repro.errors import ParseError
+from repro.query.parser import parse_rank_join
+
+
+class TestHappyPath:
+    def test_q1_product(self):
+        query = parse_rank_join(
+            "SELECT * FROM part P, lineitem L WHERE P.partkey = L.partkey "
+            "ORDER BY P.retailprice * L.extendedprice STOP AFTER 10"
+        )
+        assert query.k == 10
+        assert isinstance(query.function, ProductFunction)
+        assert query.left.table == "part"
+        assert query.left.join_column == "partkey"
+        assert query.left.score_column == "retailprice"
+        assert query.right.table == "lineitem"
+        assert query.right.score_column == "extendedprice"
+
+    def test_q2_sum(self):
+        query = parse_rank_join(
+            "SELECT * FROM orders O, lineitem L WHERE O.orderkey = L.orderkey "
+            "ORDER BY O.totalprice + L.extendedprice STOP AFTER 5"
+        )
+        assert isinstance(query.function, SumFunction)
+        assert query.k == 5
+
+    def test_weighted_sum(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY 0.7 * X.s + 0.3 * Y.s STOP AFTER 3"
+        )
+        assert isinstance(query.function, WeightedSumFunction)
+        assert query.function.weights == (0.7, 0.3)
+
+    def test_weighted_sum_reordered_expression(self):
+        # expression references relations in the opposite order of FROM
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY 0.3 * Y.s + 0.7 * X.s STOP AFTER 3"
+        )
+        assert query.function.weights == (0.7, 0.3)  # aligned to (X, Y)
+
+    def test_max_min(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY MAX(X.s, Y.s) STOP AFTER 1"
+        )
+        assert isinstance(query.function, MaxFunction)
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY min(X.s, Y.s) STOP AFTER 1"
+        )
+        assert isinstance(query.function, MinFunction)
+
+    def test_explicit_select_list(self):
+        query = parse_rank_join(
+            "SELECT P.name, L.quantity FROM part P, lineitem L "
+            "WHERE P.partkey = L.partkey "
+            "ORDER BY P.retailprice * L.extendedprice STOP AFTER 2"
+        )
+        assert query.k == 2
+
+    def test_tables_without_aliases(self):
+        query = parse_rank_join(
+            "SELECT * FROM part, lineitem WHERE part.partkey = lineitem.partkey "
+            "ORDER BY part.retailprice * lineitem.extendedprice STOP AFTER 4"
+        )
+        assert query.left.table == "part"
+
+    def test_case_insensitive_keywords(self):
+        query = parse_rank_join(
+            "select * from a X, b Y where X.j = Y.j "
+            "order by X.s + Y.s stop after 7"
+        )
+        assert query.k == 7
+
+    def test_parenthesized_atoms(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY (X.s) * (Y.s) STOP AFTER 2"
+        )
+        assert isinstance(query.function, ProductFunction)
+
+    def test_custom_family(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y WHERE X.j = Y.j "
+            "ORDER BY X.s + Y.s STOP AFTER 1",
+            family="cf",
+        )
+        assert query.left.family == "cf"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "FROM a, b WHERE a.j = b.j ORDER BY a.s + b.s STOP AFTER 1",
+        "SELECT * FROM a WHERE a.j = a.j ORDER BY a.s + a.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y, c Z WHERE X.j = Y.j ORDER BY X.s + Y.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = X.j ORDER BY X.s + Y.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + X.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + Y.s STOP AFTER 0",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + Y.s STOP AFTER 1.5",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + Y.s",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + Y.s STOP AFTER 1 garbage",
+        "SELECT * FROM a X, a X WHERE X.j = X.j ORDER BY X.s + X.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY X.s + Y.s + X.t STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY 2 * X.s * Y.s STOP AFTER 1",
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j ORDER BY MAX(X.s, X.t) STOP AFTER 1",
+        "",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_rank_join(text)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_rank_join("SELECT * FROM a ; DROP TABLE b")
+
+    def test_error_carries_position(self):
+        try:
+            parse_rank_join("SELECT % FROM a")
+        except ParseError as error:
+            assert error.position is not None

@@ -1,0 +1,88 @@
+"""Byte encodings and size accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.serialization import (
+    decode_float,
+    decode_score_key,
+    decode_str,
+    encode_float,
+    encode_score_key,
+    encode_str,
+    sizeof,
+)
+
+
+class TestRoundTrips:
+    @given(st.text(max_size=200))
+    def test_str_roundtrip(self, value):
+        assert decode_str(encode_str(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip(self, value):
+        assert decode_float(encode_float(value)) == value
+
+    def test_float_is_eight_bytes(self):
+        assert len(encode_float(0.5)) == 8
+
+
+class TestScoreKeys:
+    """The ISL negated-score key (§4.2.2): ascending keys == descending
+    scores, so HBase's forward-only scans walk scores downward."""
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_order_inversion(self, a, b):
+        if a < b:
+            assert encode_score_key(a) >= encode_score_key(b)
+        elif a > b:
+            assert encode_score_key(a) <= encode_score_key(b)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_roundtrip_is_lossless(self, score):
+        assert decode_score_key(encode_score_key(score)) == score
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_order_inversion_beyond_unit_interval(self, a, b):
+        # arbitrary score domains are supported (§1.1: only a total
+        # ordering is required)
+        if a < b:
+            assert encode_score_key(a) > encode_score_key(b)
+
+    def test_keys_are_fixed_width(self):
+        assert len(encode_score_key(0.0)) == len(encode_score_key(1.0))
+
+    def test_extremes(self):
+        assert encode_score_key(1.0) < encode_score_key(0.0)
+
+
+class TestSizeof:
+    def test_primitives(self):
+        assert sizeof(None) == 1
+        assert sizeof(True) == 1
+        assert sizeof(b"abcd") == 4
+        assert sizeof("abcd") == 4
+        assert sizeof(0.5) == 8
+        assert sizeof(300) == 2
+
+    def test_unicode_counts_encoded_bytes(self):
+        assert sizeof("é") == 2
+
+    def test_containers_recursive(self):
+        assert sizeof([b"ab", b"cd"]) == 2 + 4
+        assert sizeof({"k": b"vv"}) == 2 + 1 + 2
+        assert sizeof(("ab", 0.5)) == 2 + 2 + 8
+
+    def test_objects_with_serialized_size(self):
+        class Blob:
+            def serialized_size(self):
+                return 99
+
+        assert sizeof(Blob()) == 99
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            sizeof(object())

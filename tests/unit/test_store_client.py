@@ -1,0 +1,163 @@
+"""The store client: tables, puts/gets/deletes/scans, metering."""
+
+import pytest
+
+from repro.common.serialization import encode_float
+from repro.errors import (
+    ColumnFamilyNotFoundError,
+    InvalidMutationError,
+    TableExistsError,
+    TableNotFoundError,
+)
+from repro.store.client import Delete, Get, Put, Scan
+from repro.store.filters import ScoreThresholdFilter
+
+
+class TestAdmin:
+    def test_create_and_lookup(self, empty_platform):
+        empty_platform.store.create_table("t", {"d"})
+        assert empty_platform.store.has_table("t")
+        assert empty_platform.store.table_names() == ["t"]
+
+    def test_duplicate_create_rejected(self, empty_platform):
+        empty_platform.store.create_table("t", {"d"})
+        with pytest.raises(TableExistsError):
+            empty_platform.store.create_table("t", {"d"})
+
+    def test_missing_table_rejected(self, empty_platform):
+        with pytest.raises(TableNotFoundError):
+            empty_platform.store.table("ghost")
+
+    def test_drop(self, empty_platform):
+        empty_platform.store.create_table("t", {"d"})
+        empty_platform.store.drop_table("t")
+        assert not empty_platform.store.has_table("t")
+        with pytest.raises(TableNotFoundError):
+            empty_platform.store.drop_table("t")
+
+    def test_presplit_regions(self, empty_platform):
+        table = empty_platform.store.create_table("t", {"d"}, split_keys=["m"])
+        assert len(table.table.regions) == 2
+
+
+class TestMutations:
+    def test_put_then_get(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("row1").add("d", "col", b"value"))
+        assert htable.get(Get("row1")).value("d", "col") == b"value"
+
+    def test_unknown_family_rejected(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        with pytest.raises(ColumnFamilyNotFoundError):
+            htable.put(Put("row1").add("nope", "col", b"v"))
+
+    def test_empty_put_rejected(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        with pytest.raises(InvalidMutationError):
+            htable.put(Put("row1"))
+        with pytest.raises(InvalidMutationError):
+            htable.put(Put("").add("d", "c", b"v"))
+
+    def test_column_delete(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r").add("d", "a", b"1").add("d", "b", b"2"))
+        htable.delete(Delete("r", family="d", qualifier="a"))
+        row = htable.get(Get("r"))
+        assert row.value("d", "a") is None
+        assert row.value("d", "b") == b"2"
+
+    def test_row_delete(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r").add("d", "a", b"1").add("d", "b", b"2"))
+        htable.delete(Delete("r"))
+        assert htable.get(Get("r")).empty
+
+    def test_delete_of_absent_row_is_noop(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.delete(Delete("ghost"))
+        assert htable.get(Get("ghost")).empty
+
+    def test_later_timestamp_wins_regardless_of_arrival(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r", timestamp=10).add("d", "c", b"new"))
+        htable.put(Put("r", timestamp=5).add("d", "c", b"stale-retry"))
+        assert htable.get(Get("r")).value("d", "c") == b"new"
+
+
+class TestMetering:
+    def test_get_charges_rpc_and_reads(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r").add("d", "c", b"value"))
+        before = empty_platform.metrics.snapshot()
+        htable.get(Get("r"))
+        delta = empty_platform.metrics.snapshot() - before
+        assert delta.kv_reads == 1
+        assert delta.network_bytes > 0
+        assert delta.sim_time_s > 0
+
+    def test_put_charges_replicated_write(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        before = empty_platform.metrics.snapshot()
+        htable.put(Put("r").add("d", "c", b"x" * 100))
+        delta = empty_platform.metrics.snapshot() - before
+        # payload + (replication - 1) WAL copies
+        assert delta.network_bytes >= 100 * empty_platform.cost_model.hdfs_replication
+
+    def test_multi_get_amortizes_rpcs(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"})
+        for i in range(10):
+            htable.put(Put(f"r{i}").add("d", "c", b"v"))
+        empty_platform.reset_metrics()
+        htable.multi_get([Get(f"r{i}") for i in range(10)])
+        batched = empty_platform.metrics.snapshot()
+        empty_platform.reset_metrics()
+        for i in range(10):
+            htable.get(Get(f"r{i}"))
+        individual = empty_platform.metrics.snapshot()
+        assert batched.kv_reads == individual.kv_reads == 10
+        assert batched.sim_time_s < individual.sim_time_s
+
+
+class TestScans:
+    @pytest.fixture()
+    def loaded(self, empty_platform):
+        htable = empty_platform.store.create_table("t", {"d"}, split_keys=["r5"])
+        for i in range(10):
+            htable.put(
+                Put(f"r{i}")
+                .add("d", "c", b"v")
+                .add("d", "score", encode_float(i / 10))
+            )
+        return htable
+
+    def test_full_scan_sorted(self, loaded):
+        rows = [r.row for r in loaded.scan(Scan())]
+        assert rows == [f"r{i}" for i in range(10)]
+
+    def test_range_scan(self, loaded):
+        rows = [r.row for r in loaded.scan(Scan(start_row="r3", stop_row="r7"))]
+        assert rows == ["r3", "r4", "r5", "r6"]
+
+    def test_limit(self, loaded):
+        rows = list(loaded.scan(Scan(limit=3)))
+        assert len(rows) == 3
+
+    def test_filter_reads_everything_ships_matches(self, loaded):
+        platform = loaded.store.ctx
+        loaded.store.ctx.metrics.reset()
+        scan = Scan(filter=ScoreThresholdFilter("d", "score", 0.8))
+        rows = list(loaded.scan(scan))
+        assert [r.row for r in rows] == ["r8", "r9"]
+        # dollar cost counts every cell scanned, not just the two shipped
+        assert platform.metrics.kv_reads == 20
+
+    def test_small_caching_means_more_rpcs_and_more_time(self, loaded):
+        ctx = loaded.store.ctx
+        ctx.metrics.reset()
+        list(loaded.scan(Scan(caching=1)))
+        small_batches = ctx.metrics.snapshot()
+        ctx.metrics.reset()
+        list(loaded.scan(Scan(caching=100)))
+        big_batches = ctx.metrics.snapshot()
+        assert small_batches.sim_time_s > big_batches.sim_time_s
+        assert small_batches.kv_reads == big_batches.kv_reads

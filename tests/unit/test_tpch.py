@@ -1,0 +1,145 @@
+"""TPC-H generator, loader, and refresh sets."""
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.platform import Platform
+from repro.relational.binding import load_relation
+from repro.tpch.generator import generate
+from repro.tpch.loader import (
+    LINEITEM,
+    ORDERS,
+    PART,
+    lineitem_by_part_binding,
+    load_tpch,
+    orders_binding,
+    part_binding,
+)
+from repro.tpch.updates import generate_refresh_sets
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(micro_scale=0.3, seed=11)
+        b = generate(micro_scale=0.3, seed=11)
+        assert a.parts == b.parts
+        assert a.orders == b.orders
+        assert a.lineitems == b.lineitems
+
+    def test_seed_changes_data(self):
+        a = generate(micro_scale=0.3, seed=1)
+        b = generate(micro_scale=0.3, seed=2)
+        assert a.lineitems != b.lineitems
+
+    def test_scaling(self):
+        small = generate(micro_scale=0.2)
+        large = generate(micro_scale=1.0)
+        assert len(large.parts) == pytest.approx(5 * len(small.parts), rel=0.2)
+        assert len(large.lineitems) > 3 * len(small.lineitems)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate(micro_scale=0)
+
+    def test_scores_in_unit_interval(self):
+        data = generate(micro_scale=0.2)
+        for part in data.parts:
+            assert 0 < part["retailprice"] <= 1
+        for order in data.orders:
+            assert 0 < order["totalprice"] <= 1
+        for item in data.lineitems:
+            assert 0 < item["extendedprice"] <= 1
+
+    def test_q2_scores_skewed_lower_than_q1(self):
+        # the §7.2 distribution contrast: orders.totalprice (u^3) has far
+        # fewer high-ranking tuples than part.retailprice (uniform)
+        data = generate(micro_scale=1.0)
+        part_high = sum(p["retailprice"] > 0.8 for p in data.parts) / len(data.parts)
+        order_high = sum(o["totalprice"] > 0.8 for o in data.orders) / len(data.orders)
+        assert order_high < part_high / 2
+
+    def test_referential_integrity(self):
+        data = generate(micro_scale=0.2)
+        partkeys = {p["partkey"] for p in data.parts}
+        orderkeys = {o["orderkey"] for o in data.orders}
+        for item in data.lineitems:
+            assert item["partkey"] in partkeys
+            assert item["orderkey"] in orderkeys
+
+
+class TestLoader:
+    def test_tables_created_and_populated(self):
+        platform = Platform(EC2_PROFILE)
+        data = generate(micro_scale=0.1, seed=3)
+        load_tpch(platform.store, data)
+        for name, expected in [(PART, len(data.parts)),
+                               (ORDERS, len(data.orders)),
+                               (LINEITEM, len(data.lineitems))]:
+            rows = list(platform.store.backing(name).all_rows())
+            assert len(rows) == expected
+
+    def test_tables_pre_split(self):
+        platform = Platform(EC2_PROFILE)
+        load_tpch(platform.store, generate(micro_scale=0.2, seed=3))
+        assert len(platform.store.backing(LINEITEM).regions) > 1
+
+    def test_bindings_decode(self):
+        platform = Platform(EC2_PROFILE)
+        data = generate(micro_scale=0.1, seed=3)
+        load_tpch(platform.store, data)
+        rows = load_relation(platform.store, part_binding())
+        assert len(rows) == len(data.parts)
+        assert all(0 < r.score <= 1 for r in rows)
+        by_key = {r.row_key: r for r in rows}
+        assert by_key[data.parts[0]["partkey"]].join_value == data.parts[0]["partkey"]
+
+    def test_lineitem_binding_has_payload(self):
+        platform = Platform(EC2_PROFILE)
+        load_tpch(platform.store, generate(micro_scale=0.1, seed=3))
+        rows = load_relation(platform.store, lineitem_by_part_binding())
+        # 16 columns minus join minus score = wide payload (Hive ships it)
+        assert len(rows[0].payload) >= 12
+
+
+class TestRefreshSets:
+    def test_sizing_follows_paper(self):
+        data = generate(micro_scale=1.0, seed=5)
+        sets = generate_refresh_sets(data, count=2)
+        for refresh in sets:
+            # ≈ 600·s insertions, ≈ 150·s deletions (§7.2)
+            assert refresh.insert_count == pytest.approx(600, rel=0.15)
+            assert refresh.delete_count == pytest.approx(150, rel=0.35)
+
+    def test_deletes_reference_existing_orders(self):
+        data = generate(micro_scale=0.5, seed=5)
+        orderkeys = {o["orderkey"] for o in data.orders}
+        refresh = generate_refresh_sets(data, count=1)[0]
+        assert all(key in orderkeys for key in refresh.delete_orders)
+
+    def test_consecutive_sets_do_not_redelete(self):
+        data = generate(micro_scale=0.5, seed=5)
+        sets = generate_refresh_sets(data, count=3)
+        seen: set[str] = set()
+        for refresh in sets:
+            current = set(refresh.delete_orders)
+            assert not (current & seen)
+            seen |= current
+
+    def test_inserted_lineitems_belong_to_inserted_orders(self):
+        data = generate(micro_scale=0.5, seed=5)
+        refresh = generate_refresh_sets(data, count=1)[0]
+        new_orders = {o["orderkey"] for o in refresh.insert_orders}
+        assert all(i["orderkey"] in new_orders for i in refresh.insert_lineitems)
+
+    def test_key_sequences_advance(self):
+        data = generate(micro_scale=0.5, seed=5)
+        before = data.next_order_seq
+        generate_refresh_sets(data, count=2)
+        assert data.next_order_seq > before
+
+
+class TestBindings:
+    def test_signatures_unique_per_role(self):
+        assert part_binding().signature != orders_binding().signature
+        assert (lineitem_by_part_binding().signature
+                != "lineitem__orderkey__extendedprice")
