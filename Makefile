@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check examples all
+
+## tier-1: the full suite (unit + algorithms + integration + benchmarks)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## figure regenerations + planner-quality grid only
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## docstring coverage + README code blocks actually run
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## run every example script end to end
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/explain_plan.py
+
+all: test docs-check

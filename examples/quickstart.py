@@ -55,6 +55,11 @@ def main() -> None:
     print(f"  {sql}")
     print(f"  -> {[round(t.score, 4) for t in via_sql.tuples]}")
 
+    print("\n... and with no algorithm given, the cost-based planner picks:")
+    auto = engine.sql(sql)
+    print(f"  planner chose {auto.algorithm} "
+          f"(see examples/explain_plan.py for the full EXPLAIN tour)")
+
 
 if __name__ == "__main__":
     main()

@@ -41,8 +41,10 @@ from repro.core.isl_multi import MultiRankJoinQuery, MultiWayISLRankJoin
 from repro.platform import Platform
 from repro.query.engine import RankJoinEngine
 from repro.query.parser import parse_rank_join
+from repro.query.planner import CostEstimate, QueryPlan, QueryPlanner
 from repro.query.results import RankJoinResult
 from repro.query.spec import RankJoinQuery
+from repro.query.statistics import StatisticsCatalog, TableStatistics
 from repro.relational.binding import RelationBinding
 
 __version__ = "1.0.0"
@@ -75,8 +77,13 @@ __all__ = [
     "Platform",
     "RankJoinEngine",
     "parse_rank_join",
+    "CostEstimate",
+    "QueryPlan",
+    "QueryPlanner",
     "RankJoinResult",
     "RankJoinQuery",
+    "StatisticsCatalog",
+    "TableStatistics",
     "RelationBinding",
     "__version__",
 ]

@@ -40,10 +40,12 @@ _F64 = struct.Struct(">d")
 
 
 def blob_row_key(bucket: int) -> str:
+    """Row key of a bucket's blob row (``B``-prefixed, zero-padded)."""
     return f"B{bucket:05d}"
 
 
 def reverse_row_key(bucket: int, bit_position: int) -> str:
+    """Row key of one reverse-mapping row (bucket + filter bit position)."""
     return f"R{bucket:05d}|{bit_position:09d}"
 
 
@@ -99,16 +101,19 @@ def encode_reverse_value(join_value: str, score: float) -> bytes:
 
 
 def decode_reverse_value(row_key: str, data: bytes) -> ScoredRow:
+    """Inverse of :func:`encode_reverse_value` (qualifier is the row key)."""
     score = _F64.unpack_from(data, 0)[0]
     join_value = data[8:].decode("utf-8")
     return ScoredRow(row_key=row_key, join_value=join_value, score=score)
 
 
 def encode_bucket_list(buckets: "list[int]") -> bytes:
+    """Serialize the meta row's non-empty bucket list."""
     return ",".join(str(b) for b in buckets).encode("utf-8")
 
 
 def decode_bucket_list(data: bytes) -> list[int]:
+    """Inverse of :func:`encode_bucket_list`."""
     text = data.decode("utf-8")
     return [int(piece) for piece in text.split(",") if piece]
 

@@ -62,6 +62,7 @@ class WriteBackPolicy(enum.Enum):
 
 
 def record_qualifier(timestamp: int, op: str, row_key: str) -> str:
+    """Qualifier of one §6 update record riding in a blob row."""
     return f"{_RECORD_PREFIX}{timestamp:012d}|{op}|{row_key}"
 
 

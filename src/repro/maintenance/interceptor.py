@@ -9,6 +9,10 @@ A :class:`MaintainedRelation` wraps one base relation and fans every
 insert/delete out to whichever indices are registered for it: IJLMR and ISL
 rows are mutated directly (they are plain inverted lists), and BFHM goes
 through its update manager (reverse mapping + insertion/tombstone records).
+
+Mutations also invalidate the planner's cached table statistics (when a
+``statistics_catalog`` is attached), so ``algorithm="auto"`` plans keep
+pricing against fresh row counts and histograms as data changes online.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ class MaintainedRelation:
         bfhm_manager: "BFHMUpdateManager | None" = None,
         retry_policy: RetryPolicy = RetryPolicy(),
         failure_injector=None,
+        statistics_catalog=None,
     ) -> None:
         self.platform = platform
         self.binding = binding
@@ -45,10 +50,18 @@ class MaintainedRelation:
         self.bfhm_manager = bfhm_manager
         self.retry_policy = retry_policy
         self.failure_injector = failure_injector
+        #: anything with an ``invalidate(table_name)`` method — normally a
+        #: :class:`repro.query.statistics.StatisticsCatalog` (duck-typed to
+        #: keep the maintenance layer import-free of the query layer)
+        self.statistics_catalog = statistics_catalog
         self.inserts_applied = 0
         self.deletes_applied = 0
 
     # -- helpers -------------------------------------------------------------
+
+    def _invalidate_statistics(self) -> None:
+        if self.statistics_catalog is not None:
+            self.statistics_catalog.invalidate(self.binding.table)
 
     def _retry(self, mutation) -> Any:
         return with_retries(mutation, self.retry_policy, self.failure_injector)
@@ -102,6 +115,7 @@ class MaintainedRelation:
                 )
             )
         self.inserts_applied += 1
+        self._invalidate_statistics()
 
     # -- deletes ------------------------------------------------------------------
 
@@ -150,4 +164,5 @@ class MaintainedRelation:
                 )
             )
         self.deletes_applied += 1
+        self._invalidate_statistics()
         return True

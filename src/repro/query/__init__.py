@@ -1,4 +1,14 @@
-"""Query layer: specs, results, SQL-dialect parsing, and the engine facade."""
+"""Query layer: specs, results, SQL parsing, planning, and the engine.
+
+Only the leaf modules are imported eagerly: the algorithm base class
+(``repro.core.base``) imports :mod:`repro.query.results`, so pulling the
+planner (which reaches back into ``repro.core``) in at package-import time
+would create a cycle.  Import the planner pieces from their modules::
+
+    from repro.query.engine import RankJoinEngine
+    from repro.query.planner import QueryPlan, QueryPlanner
+    from repro.query.statistics import StatisticsCatalog
+"""
 
 from repro.query.parser import parse_rank_join
 from repro.query.results import RankJoinResult

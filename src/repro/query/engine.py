@@ -8,7 +8,13 @@ Downstream users get a single entry point::
     result = engine.sql("SELECT * FROM part P, lineitem L "
                         "WHERE P.partkey = L.partkey "
                         "ORDER BY P.retailprice * L.extendedprice "
-                        "STOP AFTER 10", algorithm="bfhm")
+                        "STOP AFTER 10")
+
+With no explicit ``algorithm=`` the engine runs in ``"auto"`` mode: the
+cost-based planner (:mod:`repro.query.planner`) prices every registered
+algorithm against cached table statistics and executes the cheapest one.
+``engine.explain(sql)`` renders that decision — per-algorithm cost
+breakdowns included — without executing anything.
 """
 
 from __future__ import annotations
@@ -23,8 +29,10 @@ from repro.core.isl import ISLRankJoin
 from repro.errors import PlanningError
 from repro.platform import Platform
 from repro.query.parser import parse_rank_join
+from repro.query.planner import QueryPlan, QueryPlanner
 from repro.query.results import RankJoinResult
 from repro.query.spec import RankJoinQuery
+from repro.query.statistics import StatisticsCatalog
 
 #: algorithm name -> factory; lowercase keys
 ALGORITHM_FACTORIES = {
@@ -36,6 +44,9 @@ ALGORITHM_FACTORIES = {
     "drjn": DRJNRankJoin,
 }
 
+#: the planner-backed pseudo-algorithm name (and the engine-wide default)
+AUTO = "auto"
+
 
 class RankJoinEngine:
     """Holds one instance of every algorithm over a shared platform."""
@@ -44,6 +55,10 @@ class RankJoinEngine:
         self.platform = platform
         self._algorithms: dict[str, RankJoinAlgorithm] = {}
         self._algorithm_kwargs = algorithm_kwargs
+        self.statistics = StatisticsCatalog(platform)
+        self.planner = QueryPlanner(self, self.statistics)
+        #: the QueryPlan behind the most recent ``algorithm="auto"`` run
+        self.last_plan: "QueryPlan | None" = None
 
     def algorithm(self, name: str) -> RankJoinAlgorithm:
         """The (cached) algorithm instance for ``name``."""
@@ -53,7 +68,7 @@ class RankJoinEngine:
         if key not in ALGORITHM_FACTORIES:
             raise PlanningError(
                 f"unknown algorithm {name!r}; choose from "
-                f"{sorted(ALGORITHM_FACTORIES)}"
+                f"{sorted(ALGORITHM_FACTORIES)} (or {AUTO!r})"
             )
         kwargs = self._algorithm_kwargs.get(key, {})
         self._algorithms[key] = ALGORITHM_FACTORIES[key](self.platform, **kwargs)
@@ -63,13 +78,75 @@ class RankJoinEngine:
         """Plug in a custom or specially configured algorithm instance."""
         self._algorithms[name.lower()] = algorithm
 
-    def execute(self, query: RankJoinQuery, algorithm: str = "bfhm") -> RankJoinResult:
-        """Run a bound query with the chosen algorithm."""
-        return self.algorithm(algorithm).execute(query)
+    #: algorithm auto mode falls back to when planning is impossible
+    #: (e.g. an empty relation has no statistics to price from) — matches
+    #: the engine's pre-planner default, so such queries behave as before
+    FALLBACK_ALGORITHM = "bfhm"
 
-    def sql(self, text: str, algorithm: str = "bfhm", family: str = "d") -> RankJoinResult:
+    def execute(self, query: RankJoinQuery, algorithm: str = AUTO) -> RankJoinResult:
+        """Run a bound query; ``algorithm="auto"`` lets the planner pick."""
+        name = algorithm.lower()
+        if name == AUTO:
+            try:
+                self.last_plan = self.planner.plan(query)
+                name = self.last_plan.chosen
+            except PlanningError:
+                self.last_plan = None
+                name = self.FALLBACK_ALGORITHM
+        instance = self.algorithm(name)
+        # first-use execution may build indices as a side effect; note
+        # which bindings lack one so the statistics cache can be refreshed
+        unbuilt = [
+            binding
+            for binding in (query.left, query.right)
+            if instance.build_report(binding) is None
+        ]
+        result = instance.execute(query)
+        for binding in unbuilt:
+            if instance.build_report(binding) is not None:
+                self.statistics.invalidate(binding.table)
+        return result
+
+    def sql(self, text: str, algorithm: str = AUTO, family: str = "d") -> RankJoinResult:
         """Parse and run a SQL-dialect query (§1.1 syntax)."""
         return self.execute(parse_rank_join(text, family=family), algorithm)
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(
+        self,
+        query: RankJoinQuery,
+        objective: str = "time",
+        algorithms: "list[str] | None" = None,
+    ) -> QueryPlan:
+        """Price the candidate algorithms for ``query`` without executing."""
+        return self.planner.plan(query, objective=objective, algorithms=algorithms)
+
+    def explain(
+        self,
+        text_or_query: "str | RankJoinQuery",
+        objective: str = "time",
+        family: str = "d",
+        algorithms: "list[str] | None" = None,
+    ) -> QueryPlan:
+        """EXPLAIN: plan a query (SQL text or bound spec) without running it.
+
+        The returned :class:`QueryPlan` renders as a cost-breakdown table
+        via ``str(plan)`` / ``plan.render()``.
+        """
+        if isinstance(text_or_query, str):
+            query = parse_rank_join(text_or_query, family=family)
+        else:
+            query = text_or_query
+        return self.plan(query, objective=objective, algorithms=algorithms)
+
+    def invalidate_statistics(self, table: str) -> int:
+        """Drop cached planner statistics over ``table`` (returns entries
+        dropped).  Wired into online maintenance via
+        :class:`repro.maintenance.interceptor.MaintainedRelation`."""
+        return self.statistics.invalidate(table)
+
+    # -- index lifecycle ----------------------------------------------------
 
     def prepare(self, query: RankJoinQuery, algorithms: "list[str] | None" = None):
         """Pre-build indices for a query across algorithms; returns the
@@ -78,4 +155,8 @@ class RankJoinEngine:
         reports = []
         for name in names:
             reports.extend(self.algorithm(name).prepare(query))
+        if reports:
+            # index builds change footprints the planner prices from
+            for binding in (query.left, query.right):
+                self.statistics.invalidate(binding.table)
         return reports

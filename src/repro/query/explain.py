@@ -1,0 +1,96 @@
+"""EXPLAIN rendering: a :class:`QueryPlan` as a human-readable report.
+
+The layout mirrors the paper's evaluation axes — one row per candidate
+algorithm with its predicted simulated time, network bytes, KV read units
+and dollar cost — followed by the winner's component breakdown and the
+table statistics the estimates were derived from.  Rendering never
+executes the query; everything shown comes from the planner's analytic
+cost models.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.planner import CostEstimate, QueryPlan
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:,.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _format_bytes(num_bytes: float) -> str:
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:,.1f} {unit}" if unit != "B" else f"{value:,.0f} B"
+        value /= 1024
+    return f"{value:,.1f} GB"  # pragma: no cover - unreachable
+
+
+def _breakdown_line(estimate: "CostEstimate") -> str:
+    parts = [
+        f"{component} {_format_time(seconds)}"
+        for component, seconds in sorted(
+            estimate.breakdown.items(), key=lambda item: -item[1]
+        )
+        if seconds > 0
+    ]
+    return " · ".join(parts) if parts else "(no cost components)"
+
+
+def render_plan(plan: "QueryPlan") -> str:
+    """Multi-line EXPLAIN report for ``plan``."""
+    lines: list[str] = []
+    query = plan.query
+    lines.append(f"QUERY PLAN  {query.description}")
+    lines.append(f"objective: minimize {plan.objective}")
+    lines.append("")
+
+    header = (
+        f"{'rank':>4}  {'algorithm':<10} {'est. time':>12} "
+        f"{'est. network':>14} {'est. KV reads':>14} {'est. dollars':>13}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rank, estimate in enumerate(plan.estimates, start=1):
+        marker = " *" if rank == 1 else "  "
+        lines.append(
+            f"{rank:>3}{marker} {estimate.algorithm:<10} "
+            f"{_format_time(estimate.time_s):>12} "
+            f"{_format_bytes(estimate.network_bytes):>14} "
+            f"{estimate.kv_reads:>14,} "
+            f"{estimate.dollars:>13.6f}"
+        )
+    lines.append("")
+    lines.append(f"chosen: {plan.best.algorithm}  (* = winner)")
+    lines.append(f"  breakdown: {_breakdown_line(plan.best)}")
+    for note in plan.best.notes:
+        lines.append(f"  note: {note}")
+    lines.append("")
+
+    for label in ("left", "right"):
+        stats = plan.statistics[label]
+        built = sorted(
+            kind for kind, index in stats.indexes.items() if index.built
+        )
+        lines.append(
+            f"{label}: {stats.binding.display_name} — {stats.row_count:,} rows, "
+            f"{stats.distinct_join_values:,} join values, "
+            f"{_format_bytes(stats.total_row_bytes)}, "
+            f"indices built: {', '.join(built) if built else 'none'}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(plan: "QueryPlan") -> str:
+    """Compact one-line-per-algorithm breakdown table (all candidates)."""
+    lines = []
+    for estimate in plan.estimates:
+        lines.append(f"{estimate.algorithm}: {_breakdown_line(estimate)}")
+    return "\n".join(lines)

@@ -1,0 +1,1105 @@
+"""The cost-based query planner.
+
+The paper's bottom line (§7.3) is that *no single rank-join algorithm wins
+everywhere*: BFHM dominates on network traffic and dollar cost, ISL-style
+coordinator algorithms win at small budgets and low-latency clusters, and
+the MapReduce approaches only pay off at bulk scale.  The planner makes
+that trade-off explicit: given a parsed :class:`RankJoinQuery` it
+
+1. pulls :class:`~repro.query.statistics.TableStatistics` for both
+   relations from the engine's :class:`StatisticsCatalog`,
+2. prices every candidate algorithm with the platform's calibrated
+   :class:`~repro.cluster.costmodel.CostModel` — RPC rounds and scan depth
+   for coordinator algorithms (ISL), bucket and reverse-mapping probes for
+   BFHM, job startup plus scan volume for the MapReduce family — and
+3. returns a :class:`QueryPlan` ranking the candidates by the requested
+   objective (simulated time, network bytes, or KV read units).
+
+Estimates mirror the exact charging rules of the simulated substrate
+(:mod:`repro.store.client`, :mod:`repro.store.scanner`,
+:mod:`repro.mapreduce.runtime`), so a plan's numbers are directly
+comparable to the metrics a real execution reports.  Planning itself is
+side-effect free: it reads cached statistics (gathered unmetered) and
+never touches the metered data path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cluster.costmodel import CostModel
+from repro.common.functions import AggregateFunction
+from repro.errors import PlanningError
+from repro.query.spec import RankJoinQuery
+from repro.query.statistics import (
+    BFHMIndexStatistics,
+    StatisticsCatalog,
+    TableStatistics,
+)
+from repro.sketches.histogram import bucket_bounds
+
+# request/response framing constants of the metered store client — imported
+# so planner estimates can never drift from the substrate's actual charges
+# (the store layer does not import the query layer, so no cycle)
+from repro.store.client import REQUEST_OVERHEAD_BYTES
+from repro.store.scanner import RESPONSE_OVERHEAD_BYTES
+
+#: objectives a plan can rank by -> CostEstimate attribute
+OBJECTIVES = {
+    "time": "time_s",
+    "network": "network_bytes",
+    "dollars": "kv_reads",
+    "kv_reads": "kv_reads",
+}
+
+#: ISL discovers termination mid-batch but the scanner has already shipped
+#: the whole batch; charge this many extra batches per side
+ISL_OVERSHOOT_BATCHES = 1
+#: slack for BFHM's §5.3 recall-repair loop (extra reverse-row traffic).
+#: The simulation already models repair cascades explicitly, and calibration
+#: against the Fig. 7/8 grids shows its reverse-row counts land within a few
+#: rows of the measured ones — so no blanket padding by default.
+BFHM_REPAIR_ALLOWANCE = 0.0
+def _remote_fraction(workers: int) -> float:
+    """Fraction of shuffle records crossing node boundaries (uniform
+    partitioning over W workers leaves 1/W local)."""
+    return 1.0 - 1.0 / max(1, workers)
+
+
+# ---------------------------------------------------------------------------
+# cost accumulation
+# ---------------------------------------------------------------------------
+
+
+class CostLedger:
+    """Accumulates priced operations the way the simulator meters them.
+
+    Each charging method mirrors one primitive of the metered substrate, so
+    estimator code reads like the execution path it models.
+    """
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        self.time_s = 0.0
+        self.network_bytes = 0.0
+        self.kv_reads = 0.0
+        self.breakdown: dict[str, float] = {}
+
+    def add_time(self, component: str, seconds: float) -> None:
+        self.time_s += seconds
+        self.breakdown[component] = self.breakdown.get(component, 0.0) + seconds
+
+    def rpc(self, component: str, request_bytes: float, response_bytes: float) -> None:
+        """One coordinator<->server round trip (SimContext.charge_rpc)."""
+        total = request_bytes + response_bytes
+        self.network_bytes += total
+        self.add_time(
+            component, self.model.rpc_latency_s + self.model.network_time(int(total))
+        )
+
+    def server_read(
+        self, component: str, num_bytes: float, cells: float, sequential: bool = True
+    ) -> None:
+        """Server-side read (SimContext.charge_server_read)."""
+        self.kv_reads += cells
+        seek = 0.0 if sequential else self.model.disk_random_read_s
+        self.add_time(
+            component,
+            seek
+            + self.model.disk_seq_time(int(num_bytes))
+            + self.model.cpu_time(int(cells)),
+        )
+
+    def server_read_rows(
+        self, component: str, rows: float, num_bytes: float, cells: float
+    ) -> None:
+        """``rows`` independent random point reads (one seek *each*)."""
+        self.kv_reads += cells
+        self.add_time(
+            component,
+            rows * self.model.disk_random_read_s
+            + self.model.disk_seq_time(int(num_bytes))
+            + self.model.cpu_time(int(cells)),
+        )
+
+    def network(self, component: str, num_bytes: float) -> None:
+        self.network_bytes += num_bytes
+        self.add_time(component, self.model.network_time(int(num_bytes)))
+
+    def cpu(self, component: str, tuples: float, factor: float = 1.0) -> None:
+        self.add_time(component, self.model.cpu_time(int(tuples)) * factor)
+
+
+@dataclass
+class CostEstimate:
+    """One candidate algorithm's predicted bill."""
+
+    algorithm: str
+    time_s: float
+    network_bytes: int
+    kv_reads: int
+    dollars: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_ledger(
+        cls, algorithm: str, ledger: CostLedger, notes: "list[str] | None" = None
+    ) -> "CostEstimate":
+        return cls(
+            algorithm=algorithm,
+            time_s=ledger.time_s,
+            network_bytes=int(ledger.network_bytes),
+            kv_reads=int(ledger.kv_reads),
+            dollars=ledger.model.dollars(int(ledger.kv_reads)),
+            breakdown=dict(ledger.breakdown),
+            notes=list(notes or []),
+        )
+
+
+@dataclass
+class QueryPlan:
+    """Ranked per-algorithm cost estimates for one query."""
+
+    query: RankJoinQuery
+    objective: str
+    estimates: list[CostEstimate]
+    statistics: "dict[str, TableStatistics]"
+
+    @property
+    def chosen(self) -> str:
+        """Lowercase name of the winning algorithm."""
+        return self.estimates[0].algorithm.lower()
+
+    @property
+    def best(self) -> CostEstimate:
+        return self.estimates[0]
+
+    def estimate(self, algorithm: str) -> CostEstimate:
+        for est in self.estimates:
+            if est.algorithm.lower() == algorithm.lower():
+                return est
+        raise PlanningError(f"no estimate for algorithm {algorithm!r}")
+
+    def render(self) -> str:
+        """Human-readable EXPLAIN table (see repro.query.explain)."""
+        from repro.query.explain import render_plan
+
+        return render_plan(self)
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to render()
+        return self.render()
+
+
+# ---------------------------------------------------------------------------
+# score-distribution profiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SideProfile:
+    """Per-relation score distribution in planner-friendly form.
+
+    Buckets are listed in descending-score order (= ascending bucket
+    number), keeping only non-empty buckets — the same shape a built BFHM
+    index exposes through its meta row.
+    """
+
+    buckets: list[int]
+    counts: list[float]
+    mins: list[float]
+    maxes: list[float]
+    num_buckets: int
+    total: float
+
+    @property
+    def top_score(self) -> float:
+        return self.maxes[0] if self.maxes else 0.0
+
+    def mid(self, index: int) -> float:
+        return (self.mins[index] + self.maxes[index]) / 2.0
+
+    def upper_boundary(self, index: int) -> float:
+        """Theoretical upper boundary of the bucket (what BFHM termination
+        reasons with — it cannot see actual per-bucket maxima upfront)."""
+        return bucket_bounds(self.buckets[index], self.num_buckets)[1]
+
+
+def _profile(stats: TableStatistics) -> _SideProfile:
+    histogram = stats.histogram
+    buckets, counts, mins, maxes = [], [], [], []
+    for b in histogram.non_empty_buckets():
+        info = histogram.bucket(b)
+        buckets.append(b)
+        counts.append(float(info.count))
+        mins.append(info.min_score)
+        maxes.append(info.max_score)
+    return _SideProfile(
+        buckets=buckets,
+        counts=counts,
+        mins=mins,
+        maxes=maxes,
+        num_buckets=histogram.num_buckets,
+        total=float(sum(counts)),
+    )
+
+
+def _join_selectivity(left: TableStatistics, right: TableStatistics) -> float:
+    """P(two random tuples join) under the uniform join-key assumption.
+
+    For foreign-key joins (the paper's Q1/Q2 shape) this reduces to
+    ``1/|referenced keys|``, making the expected join size
+    ``n_l * n_r / max(d_l, d_r)`` — exact under uniformity.
+    """
+    return 1.0 / max(left.distinct_join_values, right.distinct_join_values, 1)
+
+
+# ---------------------------------------------------------------------------
+# the planner
+# ---------------------------------------------------------------------------
+
+
+class QueryPlanner:
+    """Prices candidate algorithms for rank-join queries.
+
+    The planner needs the engine only to read each algorithm's *tuning*
+    (ISL batch sizing, BFHM bucket count, DRJN partitions), never to run
+    anything.
+    """
+
+    #: bound on remembered plans (plans are cheap to rebuild; the cache
+    #: only exists so repeated identical queries skip the simulations)
+    PLAN_CACHE_LIMIT = 64
+
+    def __init__(self, engine, catalog: "StatisticsCatalog | None" = None) -> None:
+        self.engine = engine
+        self.platform = engine.platform
+        self.catalog = catalog or StatisticsCatalog(engine.platform)
+        self._plan_cache: "dict[tuple, tuple[int, QueryPlan]]" = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def plan(
+        self,
+        query: RankJoinQuery,
+        objective: str = "time",
+        algorithms: "list[str] | None" = None,
+    ) -> QueryPlan:
+        """Price ``algorithms`` (default: all registered factories) for
+        ``query`` and return them ranked by ``objective``."""
+        if objective not in OBJECTIVES:
+            raise PlanningError(
+                f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
+            )
+        from repro.query.engine import ALGORITHM_FACTORIES
+
+        names = [name.lower() for name in (algorithms or sorted(ALGORITHM_FACTORIES))]
+        # a plan is a pure function of (query, statistics, objective);
+        # cache it until the statistics catalog sees an invalidation
+        key = (
+            query.left, query.right, query.k, repr(query.function),
+            objective, tuple(names),
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None and cached[0] == self.catalog.version:
+            return cached[1]
+        left = self.catalog.stats_for(query.left)
+        right = self.catalog.stats_for(query.right)
+
+        estimates = []
+        for name in names:
+            estimator = getattr(self, f"_estimate_{name}", None)
+            if estimator is None:
+                raise PlanningError(f"no cost model for algorithm {name!r}")
+            estimates.append(estimator(query, left, right))
+
+        attribute = OBJECTIVES[objective]
+        estimates.sort(key=lambda est: (getattr(est, attribute), est.algorithm))
+        plan = QueryPlan(
+            query=query,
+            objective=objective,
+            estimates=estimates,
+            statistics={"left": left, "right": right},
+        )
+        if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[key] = (self.catalog.version, plan)
+        return plan
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _ledger(self) -> CostLedger:
+        return CostLedger(self.platform.cost_model)
+
+    @property
+    def _parallelism(self) -> int:
+        model = self.platform.cost_model
+        return max(1, model.worker_nodes * model.task_slots_per_node)
+
+    def _index_note(self, stats: TableStatistics, kind: str) -> str:
+        if stats.index(kind).built:
+            return f"{kind} index built for {stats.binding.display_name}"
+        return (
+            f"{kind} index NOT built for {stats.binding.display_name} "
+            "(built on first use, outside the query bill)"
+        )
+
+    # -- ISL ---------------------------------------------------------------------
+
+    def _isl_batch_rows(self, stats: TableStatistics) -> int:
+        from repro.core.isl import MIN_BATCH_ROWS
+
+        instance = self.engine.algorithm("isl")
+        if instance.batch_rows is not None:
+            return instance.batch_rows
+        return max(MIN_BATCH_ROWS, int(stats.row_count * instance.batch_fraction))
+
+    def _estimate_isl(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """Coordinator HRJN over score-sorted index scans (§4.2, Alg. 4).
+
+        Simulates the alternating batched pulls at histogram granularity:
+        after each batch the HRJN threshold is recomputed from the current
+        scan depths and the expected number of joined results above it is
+        read off the bucket-pair grid.  Costs follow the scanner's metering:
+        one RPC per batch, one KV read + sequential disk + CPU per cell.
+        """
+        ledger = self._ledger()
+        sel = _join_selectivity(left, right)
+        profiles = (_profile(left), _profile(right))
+        batch = (self._isl_batch_rows(left), self._isl_batch_rows(right))
+
+        consumed, batches = _simulate_hrjn(
+            profiles, query.function, query.k, batch, sel
+        )
+        cell_bytes = []
+        for side, stats in enumerate((left, right)):
+            index = stats.index("isl")
+            if index.built and index.cells:
+                cell_bytes.append(index.avg_cell_bytes)
+            else:
+                # Cell layout: 8B header + score row key (16 hex chars) +
+                # family (signature) + qualifier (base row key) + join value
+                cell_bytes.append(
+                    8.0
+                    + 16.0
+                    + len(stats.binding.signature)
+                    + stats.avg_row_key_bytes
+                    + stats.avg_join_value_bytes
+                )
+
+        for side in (0, 1):
+            rounds = batches[side] + (ISL_OVERSHOOT_BATCHES if consumed[side] else 0)
+            tuples = min(
+                profiles[side].total, consumed[side] + ISL_OVERSHOOT_BATCHES * batch[side]
+            )
+            scanned_bytes = tuples * cell_bytes[side]
+            ledger.server_read("index scan", scanned_bytes, tuples, sequential=True)
+            for _ in range(rounds):
+                ledger.rpc(
+                    "batch RPCs",
+                    RESPONSE_OVERHEAD_BYTES,
+                    RESPONSE_OVERHEAD_BYTES + scanned_bytes / max(1, rounds),
+                )
+
+        notes = [
+            f"scan depth ≈ {int(consumed[0])}+{int(consumed[1])} tuples in "
+            f"{batches[0]}+{batches[1]} batches of {batch[0]}/{batch[1]} rows",
+            self._index_note(left, "isl"),
+        ]
+        return CostEstimate.from_ledger("ISL", ledger, notes)
+
+    # -- BFHM ---------------------------------------------------------------------
+
+    def _bfhm_config(
+        self, left: TableStatistics, right: TableStatistics
+    ) -> "tuple[int, int, float]":
+        """(num_buckets, m_bits, fp_rate) the BFHM instance would use."""
+        from repro.sketches.bloom import single_hash_bit_count
+
+        instance = self.engine.algorithm("bfhm")
+        num_buckets = instance.builder.num_buckets
+        fp_rate = instance.builder.fp_rate
+        m_bits = instance.builder.m_bits
+        for stats in (left, right):
+            index = stats.index("bfhm")
+            if isinstance(index, BFHMIndexStatistics) and index.built:
+                return (index.num_buckets, index.m_bits, fp_rate)
+        if m_bits is None:
+            heaviest = 1
+            for stats in (left, right):
+                counts = stats.bucket_counts()
+                heaviest = max(heaviest, max(counts) if counts else 1)
+            m_bits = single_hash_bit_count(heaviest, fp_rate)
+        return (num_buckets, m_bits, fp_rate)
+
+    def _estimate_bfhm(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """Two-phase statistical rank join (§5.2–5.3).
+
+        Phase 1 is re-enacted against the score histograms: buckets are
+        "fetched" alternately and joined via expected filter intersections
+        until the paper's termination test fires.  Phase 2 prices the
+        reverse-mapping point reads of the surviving bucket pairs.  When
+        the BFHM index is built, actual blob sizes and reverse-row
+        footprints replace the analytic estimates.
+        """
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        sel = _join_selectivity(left, right)
+        num_buckets, m_bits, _ = self._bfhm_config(left, right)
+        # re-project the statistics histograms onto the index's actual
+        # bucket grid, so bucket numbers line up with stored blob rows
+        profiles = (
+            _reproject_profile(_profile(left), num_buckets),
+            _reproject_profile(_profile(right), num_buckets),
+        )
+
+        sim = _simulate_bfhm(profiles, query.function, query.k, m_bits, sel)
+
+        index_stats = (left.index("bfhm"), right.index("bfhm"))
+
+        # meta row read: one random point get per relation
+        meta_bytes = 60.0 + num_buckets * 2.0
+        for _ in (left, right):
+            ledger.server_read("meta read", meta_bytes, 3, sequential=False)
+            ledger.rpc("meta read", REQUEST_OVERHEAD_BYTES, meta_bytes)
+
+        # phase 1: bucket blob fetches
+        for side in (0, 1):
+            profile = profiles[side]
+            index = index_stats[side]
+            blobs = (
+                index.bucket_blobs
+                if isinstance(index, BFHMIndexStatistics) and index.built
+                else {}
+            )
+            for bucket_index in sim.fetched[side]:
+                count = profile.counts[bucket_index]
+                bucket_number = profile.buckets[bucket_index]
+                if bucket_number in blobs:
+                    actual_count, blob_bytes = blobs[bucket_number]
+                    count = float(actual_count)
+                else:
+                    blob_bytes = _golomb_blob_bytes(count, m_bits)
+                ledger.server_read("bucket fetch", blob_bytes, 4, sequential=False)
+                ledger.rpc("bucket fetch", REQUEST_OVERHEAD_BYTES, blob_bytes)
+                ledger.cpu("blob decode", count, model.blob_decode_cpu_factor)
+
+        # phase 2: reverse-mapping point reads (multi-gets, batched per
+        # region) with slack for the recall-repair loop
+        for side, stats in enumerate((left, right)):
+            rows = sim.reverse_rows[side] * (1.0 + BFHM_REPAIR_ALLOWANCE)
+            index = index_stats[side]
+            if isinstance(index, BFHMIndexStatistics) and index.built and index.reverse_rows:
+                row_bytes = index.avg_reverse_row_bytes
+                row_cells = index.avg_reverse_row_cells
+            else:
+                row_cells = max(1.0, stats.row_count / max(1, m_bits))
+                row_bytes = row_cells * (
+                    8.0 + 16.0 + len(stats.binding.signature)
+                    + stats.avg_row_key_bytes + stats.avg_join_value_bytes + 8.0
+                )
+            total_bytes = rows * row_bytes
+            ledger.server_read_rows(
+                "reverse fetch", rows, total_bytes, rows * row_cells
+            )
+            rpcs = min(int(math.ceil(rows)), model.worker_nodes) if rows else 0
+            for _ in range(rpcs):
+                ledger.rpc(
+                    "reverse fetch",
+                    REQUEST_OVERHEAD_BYTES,
+                    total_bytes / max(1, rpcs),
+                )
+
+        notes = [
+            f"est. {sim.buckets_fetched} bucket fetches, "
+            f"{int(sim.reverse_rows[0] + sim.reverse_rows[1])} reverse rows",
+            self._index_note(left, "bfhm"),
+        ]
+        return CostEstimate.from_ledger("BFHM", ledger, notes)
+
+    # -- IJLMR -------------------------------------------------------------------
+
+    def _estimate_ijlmr(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """Single MapReduce job over the co-located inverted index (§4.1).
+
+        Mappers scan the *whole* index (that is IJLMR's dollar-cost story),
+        form per-join-value Cartesian products, and ship only local top-k
+        lists; a sole reducer merges them.
+        """
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        sel = _join_selectivity(left, right)
+        join_size = sel * left.row_count * right.row_count
+
+        index_cells = 0.0
+        index_bytes = 0.0
+        for stats in (left, right):
+            index = stats.index("ijlmr")
+            if index.built:
+                index_cells += index.cells
+                index_bytes += index.total_bytes
+            else:
+                cell = (
+                    8.0 + stats.avg_join_value_bytes + len(stats.binding.signature)
+                    + stats.avg_row_key_bytes + 8.0
+                )
+                index_cells += stats.row_count
+                index_bytes += stats.row_count * cell
+
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        ledger.server_read("index scan", index_bytes, index_cells, sequential=True)
+        # undo the serial charge and re-apply it as a parallel map wave:
+        # tasks run on the region's node, slots-wide
+        wave = (
+            model.disk_seq_time(int(index_bytes))
+            + model.cpu_time(int(index_cells + join_size))
+        ) / self._parallelism
+        serial = model.disk_seq_time(int(index_bytes)) + model.cpu_time(int(index_cells))
+        ledger.add_time("index scan", wave - serial)
+        ledger.add_time("task startup", model.mr_task_startup_s * 2)
+
+        # local top-k lists to the master (one list per mapper ≈ per worker)
+        tuple_bytes = (
+            left.avg_row_key_bytes + right.avg_row_key_bytes
+            + left.avg_join_value_bytes + 3 * 8.0
+        )
+        mappers = max(1, model.worker_nodes)
+        ledger.network("top-k collect", mappers * query.k * tuple_bytes)
+        ledger.cpu("reducer merge", mappers * query.k)
+
+        notes = [
+            f"full index scan: {int(index_cells)} cells, "
+            f"{int(join_size)} joined pairs",
+            self._index_note(left, "ijlmr"),
+        ]
+        return CostEstimate.from_ledger("IJLMR", ledger, notes)
+
+    # -- MapReduce baselines --------------------------------------------------------
+
+    def _scan_both_tables(
+        self, ledger: CostLedger, component: str,
+        left: TableStatistics, right: TableStatistics, emitted_per_record: float,
+    ) -> None:
+        """Price a map wave that scans both base tables in full."""
+        model = self.platform.cost_model
+        total_bytes = left.total_row_bytes + right.total_row_bytes
+        total_cells = left.total_cells + right.total_cells
+        records = left.row_count + right.row_count
+        ledger.server_read(component, total_bytes, total_cells, sequential=True)
+        wave = (
+            model.disk_seq_time(int(total_bytes))
+            + model.cpu_time(int(records * (1 + emitted_per_record)))
+        ) / self._parallelism
+        serial = model.disk_seq_time(int(total_bytes)) + model.cpu_time(int(total_cells))
+        ledger.add_time(component, wave - serial)
+        ledger.add_time("task startup", model.mr_task_startup_s)
+
+    def _estimate_hive(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """Hive baseline (§3.1): two full MapReduce jobs plus a fetch stage,
+        with **no early projection** — complete rows are shuffled and the
+        full join result is materialized to HDFS twice (join + sort)."""
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        sel = _join_selectivity(left, right)
+        join_size = sel * left.row_count * right.row_count
+        joined_row_bytes = left.avg_row_bytes + right.avg_row_bytes
+
+        # job 1: join — full scan, full-row shuffle, join materialized
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        self._scan_both_tables(ledger, "base scan", left, right, 1.0)
+        shuffle = (left.total_row_bytes + right.total_row_bytes) * _remote_fraction(
+            model.worker_nodes
+        )
+        ledger.network("shuffle", shuffle)
+        ledger.cpu("reduce join", (left.row_count + right.row_count + join_size))
+        ledger.network(
+            "HDFS write", join_size * joined_row_bytes * (model.hdfs_replication - 1)
+        )
+        ledger.add_time("task startup", model.mr_task_startup_s)
+
+        # job 2: sort — rescan the join result, shuffle, rewrite sorted
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        join_bytes = join_size * joined_row_bytes
+        ledger.add_time("sort scan", model.disk_seq_time(int(join_bytes)) / self._parallelism)
+        ledger.cpu("sort scan", join_size / self._parallelism)
+        ledger.network("shuffle", join_bytes * _remote_fraction(model.worker_nodes))
+        ledger.cpu("reduce sort", join_size)
+        ledger.network("HDFS write", join_bytes * (model.hdfs_replication - 1))
+        ledger.add_time("task startup", model.mr_task_startup_s * 2)
+
+        # final non-MR stage: fetch the k best from the sorted file
+        ledger.network("fetch stage", query.k * joined_row_bytes)
+
+        notes = [
+            f"materializes {int(join_size)} joined rows twice (no projection)",
+            "index-free: scans base tables in full",
+        ]
+        return CostEstimate.from_ledger("HIVE", ledger, notes)
+
+    def _estimate_pig(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """Pig baseline (§3.1): three jobs (join, sampling, top-k) with
+        early projection and in-task combiner top-k lists."""
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        sel = _join_selectivity(left, right)
+        join_size = sel * left.row_count * right.row_count
+        # early projection: row key + join value + score survive
+        projected_bytes = (
+            (left.avg_row_key_bytes + right.avg_row_key_bytes) / 2
+            + left.avg_join_value_bytes + 8.0
+        )
+        joined_projected = (
+            left.avg_row_key_bytes + right.avg_row_key_bytes
+            + left.avg_join_value_bytes + 2 * 8.0
+        )
+
+        # job 1: join with early projection
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        self._scan_both_tables(ledger, "base scan", left, right, 1.0)
+        records = left.row_count + right.row_count
+        ledger.network(
+            "shuffle", records * projected_bytes * _remote_fraction(model.worker_nodes)
+        )
+        ledger.cpu("reduce join", records + join_size)
+        ledger.network(
+            "HDFS write", join_size * joined_projected * (model.hdfs_replication - 1)
+        )
+        ledger.add_time("task startup", model.mr_task_startup_s * 2)
+
+        # job 2: sampling for the balanced ORDER BY partitioner
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        join_bytes = join_size * joined_projected
+        ledger.add_time("sample scan", model.disk_seq_time(int(join_bytes)) / self._parallelism)
+        ledger.cpu("sample scan", join_size / self._parallelism)
+        ledger.add_time("task startup", model.mr_task_startup_s)
+
+        # job 3: top-k with combiner lists
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        ledger.add_time("topk scan", model.disk_seq_time(int(join_bytes)) / self._parallelism)
+        ledger.cpu("topk scan", join_size / self._parallelism)
+        mappers = max(1, model.worker_nodes)
+        ledger.network("topk shuffle", mappers * query.k * joined_projected)
+        ledger.cpu("reduce topk", mappers * query.k)
+        ledger.add_time("task startup", model.mr_task_startup_s * 2)
+
+        notes = [
+            f"early projection keeps shuffle to {int(projected_bytes)} B/record",
+            "index-free: scans base tables in full",
+        ]
+        return CostEstimate.from_ledger("PIG", ledger, notes)
+
+    # -- DRJN ---------------------------------------------------------------------
+
+    def _estimate_drjn(
+        self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
+    ) -> CostEstimate:
+        """DRJN (§7.1 adaptation): matrix-row gets to estimate the stopping
+        score, then per-round map-only pull jobs that scan the base tables
+        in full behind a server-side score filter."""
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        sel = _join_selectivity(left, right)
+        instance = self.engine.algorithm("drjn")
+        num_partitions = instance.num_join_partitions
+        num_score_buckets = instance.num_score_buckets
+
+        # walk matrix rows (one per score bucket, both relations) until the
+        # estimated join cardinality covers k
+        left_counts = _rebucket(_profile(left), num_score_buckets)
+        right_counts = _rebucket(_profile(right), num_score_buckets)
+        cum_l = cum_r = 0.0
+        rows_fetched = 0
+        boundary_bucket = num_score_buckets - 1
+        for b in range(num_score_buckets):
+            cum_l += left_counts[b]
+            cum_r += right_counts[b]
+            rows_fetched += 2
+            if sel * cum_l * cum_r >= query.k and cum_l and cum_r:
+                boundary_bucket = b
+                break
+        row_bytes = num_partitions * (8.0 + 20.0)
+        for _ in range(rows_fetched):
+            ledger.server_read("matrix fetch", row_bytes, num_partitions,
+                               sequential=False)
+            ledger.rpc("matrix fetch", REQUEST_OVERHEAD_BYTES, row_bytes)
+
+        # one pull round: map-only job scanning both base tables with the
+        # score-band filter, writing survivors to a temp table (no WAL)
+        ledger.add_time("job startup", model.mr_job_startup_s)
+        self._scan_both_tables(ledger, "pull scan", left, right, 0.2)
+        pulled = cum_l + cum_r
+        pulled_bytes = pulled * (
+            left.avg_row_key_bytes + left.avg_join_value_bytes + 16.0
+        )
+        ledger.network("temp write", pulled_bytes)
+
+        # coordinator scans the temp table and joins
+        ledger.server_read("temp scan", pulled_bytes, pulled, sequential=True)
+        batches = max(1, int(math.ceil(pulled / 100.0)))
+        for _ in range(batches):
+            ledger.rpc(
+                "temp scan",
+                RESPONSE_OVERHEAD_BYTES,
+                RESPONSE_OVERHEAD_BYTES + pulled_bytes / batches,
+            )
+        ledger.cpu("coordinator join", pulled + sel * cum_l * cum_r)
+
+        notes = [
+            f"{rows_fetched} matrix rows to bucket {boundary_bucket}, "
+            f"then pulls ≈ {int(pulled)} tuples via full scans",
+            self._index_note(left, "drjn"),
+        ]
+        return CostEstimate.from_ledger("DRJN", ledger, notes)
+
+
+# ---------------------------------------------------------------------------
+# analytic simulations
+# ---------------------------------------------------------------------------
+
+
+def _simulate_hrjn(
+    profiles: "tuple[_SideProfile, _SideProfile]",
+    function: AggregateFunction,
+    k: int,
+    batch: "tuple[int, int]",
+    selectivity: float,
+) -> "tuple[list[float], list[int]]":
+    """Expected HRJN scan depth under alternating batched pulls.
+
+    Returns ``(tuples consumed per side, batches per side)`` at the point
+    the threshold test is expected to fire.
+    """
+    consumed = [0.0, 0.0]
+    batches = [0, 0]
+    totals = [profiles[0].total, profiles[1].total]
+    if not totals[0] or not totals[1]:
+        return consumed, batches
+
+    def current_score(side: int) -> float:
+        """Score at the current scan depth (interpolated in-bucket)."""
+        profile = profiles[side]
+        remaining = consumed[side]
+        for index in range(len(profile.counts)):
+            count = profile.counts[index]
+            if remaining <= count:
+                fraction = remaining / count if count else 1.0
+                return profile.maxes[index] - fraction * (
+                    profile.maxes[index] - profile.mins[index]
+                )
+            remaining -= count
+        return profile.mins[-1]
+
+    def seen_counts(side: int) -> "list[float]":
+        profile = profiles[side]
+        remaining = consumed[side]
+        seen = []
+        for count in profile.counts:
+            take = min(count, remaining)
+            seen.append(take)
+            remaining -= take
+            if remaining <= 0:
+                break
+        return seen
+
+    def results_above(threshold: float) -> float:
+        """Expected joined results among seen tuples scoring >= threshold."""
+        seen_l = seen_counts(0)
+        seen_r = seen_counts(1)
+        if not seen_l or not seen_r:
+            return 0.0
+        cum_r = [0.0]
+        for value in seen_r:
+            cum_r.append(cum_r[-1] + value)
+        total = 0.0
+        j_limit = len(seen_r)  # two-pointer: shrinks as mid_l decreases
+        for i in range(len(seen_l)):
+            if not seen_l[i]:
+                continue
+            mid_l = profiles[0].mid(i)
+            while j_limit > 0 and function(
+                mid_l, profiles[1].mid(j_limit - 1)
+            ) < threshold:
+                j_limit -= 1
+            if j_limit == 0:
+                break
+            total += seen_l[i] * cum_r[j_limit]
+        return total * selectivity
+
+    side = 0
+    while True:
+        exhausted = [consumed[s] >= totals[s] for s in (0, 1)]
+        if all(exhausted):
+            break
+        if exhausted[side]:
+            side = 1 - side
+        consumed[side] = min(totals[side], consumed[side] + batch[side])
+        batches[side] += 1
+        threshold = max(
+            function(profiles[0].top_score, current_score(1)),
+            function(current_score(0), profiles[1].top_score),
+        )
+        if results_above(threshold) >= k:
+            break
+        side = 1 - side
+    return consumed, batches
+
+
+@dataclass
+class _BFHMSimulation:
+    """Outcome of the analytic phase-1/phase-2 re-enactment."""
+
+    fetched: "tuple[list[int], list[int]]"
+    buckets_fetched: int
+    reverse_rows: "tuple[float, float]"
+
+
+def _simulate_bfhm(
+    profiles: "tuple[_SideProfile, _SideProfile]",
+    function: AggregateFunction,
+    k: int,
+    m_bits: int,
+    selectivity: float,
+) -> _BFHMSimulation:
+    """Expected bucket fetches and reverse-row reads of a BFHM run.
+
+    Re-enacts Algorithms 6/7 with expectations in place of filters: each
+    bucket pair contributes its expected filter intersection (true matches
+    plus false-positive bit overlaps), and the CONSERVATIVE termination
+    bound is evaluated exactly as the estimator would.
+    """
+    fetched: tuple[list[int], list[int]] = ([], [])
+    nxt = [0, 0]
+    # results: (weight, min_score, max_score, common, left_idx, right_idx)
+    results: "list[tuple[float, float, float, float, int, int]]" = []
+    total_cardinality = 0.0
+
+    def pair(left_index: int, right_index: int) -> "tuple[float, float] | None":
+        """Expected (estimated-tuple weight, common bit positions) of one
+        bucket join.
+
+        The real estimator appends a result per *intersecting* pair and
+        counts ``max(1, round(cardinality))`` estimated tuples for it; in
+        expectation that is ``P(intersect) * max(1, E[card | intersect])``,
+        which ``max(P(intersect), E[card])`` approximates from expectations
+        alone (they agree in both the sparse and the dense regime).
+        """
+        c_l = profiles[0].counts[left_index]
+        c_r = profiles[1].counts[right_index]
+        true_common = min(selectivity * c_l * c_r, min(c_l, c_r))
+        p_l = 1.0 - math.exp(-c_l / m_bits)
+        p_r = 1.0 - math.exp(-c_r / m_bits)
+        fp_common = max(0.0, m_bits * p_l * p_r - true_common)
+        common = true_common + fp_common
+        if common < 1e-6:
+            return None
+        p_intersect = 1.0 - math.exp(-common)
+        weight = max(p_intersect, selectivity * c_l * c_r + fp_common)
+        return weight, common
+
+    def advance(side: int) -> bool:
+        nonlocal total_cardinality
+        if nxt[side] >= len(profiles[side].counts):
+            return False
+        index = nxt[side]
+        nxt[side] += 1
+        fetched[side].append(index)
+        for other_index in fetched[1 - side]:
+            left_index = index if side == 0 else other_index
+            right_index = other_index if side == 0 else index
+            joined = pair(left_index, right_index)
+            if joined is None:
+                continue
+            weight, common = joined
+            results.append((
+                weight,
+                function(profiles[0].mins[left_index], profiles[1].mins[right_index]),
+                function(profiles[0].maxes[left_index], profiles[1].maxes[right_index]),
+                common,
+                left_index,
+                right_index,
+            ))
+            total_cardinality += weight
+        return True
+
+    def kth_bound() -> "float | None":
+        ordered = sorted(results, key=lambda r: -r[1])
+        accumulated = 0.0
+        for weight, min_score, _, _, _, _ in ordered:
+            accumulated += weight
+            if accumulated >= k:
+                return min_score
+        return None
+
+    def unexamined_best(side: int) -> "float | None":
+        if nxt[side] >= len(profiles[side].counts):
+            return None
+        other = profiles[1 - side]
+        if not other.counts:
+            return None
+        mine = profiles[side].upper_boundary(nxt[side])
+        theirs = other.upper_boundary(0)
+        return function(mine, theirs) if side == 0 else function(theirs, mine)
+
+    def should_terminate() -> bool:
+        if total_cardinality < k:
+            return False
+        bound = kth_bound()
+        if bound is None:
+            return False
+        for side in (0, 1):
+            best = unexamined_best(side)
+            if best is not None and best > bound + 1e-12:
+                return False
+        return True
+
+    side = 0
+    while not should_terminate():
+        if nxt[0] >= len(profiles[0].counts) and nxt[1] >= len(profiles[1].counts):
+            break
+        if nxt[side] >= len(profiles[side].counts):
+            side = 1 - side
+        advance(side)
+        side = 1 - side
+
+    # phase 2: the §5.3 repair loop converges on the k-th *actual* result
+    # score — every fetched pair whose max score could still beat it ends
+    # up reverse-mapped.  Estimate that score from the true-match weights
+    # (midpoint scores, no false positives), then count the reverse rows
+    # of the surviving pairs (deduplicated per bucket — a bucket cannot
+    # yield more reverse rows than it has tuples).
+    def kth_actual_score() -> "float | None":
+        """Solve for the score t with k expected true results above it.
+
+        Each pair's expected true matches are smeared uniformly over the
+        pair's attainable score range — bucket midpoints would
+        systematically overestimate under skewed score distributions.
+        """
+        spans = []
+        for _, min_score, max_score, _, left_index, right_index in results:
+            true_weight = (
+                selectivity
+                * profiles[0].counts[left_index]
+                * profiles[1].counts[right_index]
+            )
+            if true_weight > 0:
+                spans.append((min_score, max_score, true_weight))
+        if not spans:
+            return None
+
+        def above(t: float) -> float:
+            total = 0.0
+            for lo, hi, weight in spans:
+                if hi <= t:
+                    continue
+                if lo >= t or hi == lo:
+                    total += weight
+                else:
+                    total += weight * (hi - t) / (hi - lo)
+            return total
+
+        hi_bound = max(hi for _, hi, _ in spans)
+        if above(0.0) < k:
+            return None
+        lo_t, hi_t = 0.0, hi_bound
+        for _ in range(40):
+            mid_t = (lo_t + hi_t) / 2
+            if above(mid_t) >= k:
+                lo_t = mid_t
+            else:
+                hi_t = mid_t
+        return lo_t
+
+    bound = kth_actual_score()
+    # when the estimated purge bound overshoots the true k-th score (the
+    # cardinality overcount of sparse bucket joins), the first purge drops
+    # real results, the repair loop re-admits excluded pairs wholesale,
+    # and essentially every fetched pair gets materialized
+    purge_bound = kth_bound()
+    if (
+        bound is not None
+        and purge_bound is not None
+        and purge_bound > bound + 1e-12
+    ):
+        bound = None
+    per_bucket: "tuple[dict[int, float], dict[int, float]]" = ({}, {})
+    for weight, min_score, max_score, common, left_index, right_index in results:
+        if bound is not None and max_score < bound - 1e-12:
+            continue
+        per_bucket[0][left_index] = per_bucket[0].get(left_index, 0.0) + common
+        per_bucket[1][right_index] = per_bucket[1].get(right_index, 0.0) + common
+    reverse = [0.0, 0.0]
+    for side in (0, 1):
+        for index, positions in per_bucket[side].items():
+            reverse[side] += min(positions, profiles[side].counts[index])
+
+    return _BFHMSimulation(
+        fetched=fetched,
+        buckets_fetched=len(fetched[0]) + len(fetched[1]),
+        reverse_rows=(reverse[0], reverse[1]),
+    )
+
+
+def _golomb_blob_bytes(count: float, m_bits: int) -> float:
+    """Approximate stored size of one Golomb-compressed bucket blob.
+
+    Golomb coding of ``e`` set positions over ``m`` bits costs roughly
+    ``e * (log2(m/e) + 1.6)`` bits, plus the fixed header/min/max/count
+    columns of the blob row.
+    """
+    entries = max(1.0, count)
+    per_entry_bits = math.log2(max(2.0, m_bits / entries)) + 1.6
+    return 110.0 + entries * per_entry_bits / 8.0
+
+
+def _reproject_profile(profile: _SideProfile, num_buckets: int) -> _SideProfile:
+    """Merge a profile onto a different equi-width bucket grid.
+
+    Bucket numbers of the result live on the ``num_buckets`` grid, so
+    lookups against a built index's blob rows (which encode that grid)
+    match.  A no-op when the grids already agree.
+    """
+    if num_buckets == profile.num_buckets:
+        return profile
+    merged: "dict[int, tuple[float, float, float]]" = {}
+    for index, bucket in enumerate(profile.buckets):
+        position = (bucket + 0.5) / profile.num_buckets
+        target = min(num_buckets - 1, int(position * num_buckets))
+        count, low, high = merged.get(
+            target, (0.0, float("inf"), float("-inf"))
+        )
+        merged[target] = (
+            count + profile.counts[index],
+            min(low, profile.mins[index]),
+            max(high, profile.maxes[index]),
+        )
+    buckets = sorted(merged)
+    return _SideProfile(
+        buckets=buckets,
+        counts=[merged[b][0] for b in buckets],
+        mins=[merged[b][1] for b in buckets],
+        maxes=[merged[b][2] for b in buckets],
+        num_buckets=num_buckets,
+        total=profile.total,
+    )
+
+
+def _rebucket(profile: _SideProfile, num_buckets: int) -> "list[float]":
+    """Project a profile's counts onto a coarser/finer equi-width grid."""
+    counts = [0.0] * num_buckets
+    for index, bucket in enumerate(profile.buckets):
+        # midpoint of the profile bucket decides the target bucket
+        position = (bucket + 0.5) / profile.num_buckets
+        target = min(num_buckets - 1, int(position * num_buckets))
+        counts[target] += profile.counts[index]
+    return counts

@@ -1,0 +1,308 @@
+"""Table and index statistics feeding the cost-based planner.
+
+The planner prices candidate algorithms from three kinds of facts:
+
+* **base-relation statistics** — row count, distinct join values, byte
+  sizes, and an equi-width score histogram (the same bucketing the BFHM
+  index uses, so planner estimates and index contents line up);
+* **index availability and footprint** — which of the four index kinds
+  (IJLMR, ISL, BFHM, DRJN) have been built for a relation signature, and
+  how big their rows/cells actually are (actual sizes beat any formula);
+* **cluster shape** — taken from the platform's :class:`CostModel`.
+
+Gathering reads the *backing* tables (unmetered), so planning and EXPLAIN
+never show up in a query's bill.  Statistics are cached per relation
+signature in a :class:`StatisticsCatalog`; online mutations invalidate the
+cache through the hooks in :mod:`repro.maintenance.interceptor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bfhm.bucket import Q_BLOB, Q_COUNT
+from repro.core.indexes import BFHM_TABLE, DRJN_TABLE, IJLMR_TABLE, ISL_TABLE
+from repro.errors import PlanningError
+from repro.platform import Platform
+from repro.relational.binding import RelationBinding, load_relation
+from repro.sketches.histogram import EquiWidthHistogram
+
+#: histogram resolution used for planning (matches the BFHM default, so a
+#: built BFHM index and the planner agree on bucket boundaries)
+PLANNER_NUM_BUCKETS = 100
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Footprint of one built index family (zeros when not built)."""
+
+    kind: str
+    built: bool = False
+    #: index rows holding data for this relation's family
+    rows: int = 0
+    #: individual cells across those rows
+    cells: int = 0
+    #: serialized size of those cells (the bytes scans/gets would move)
+    total_bytes: int = 0
+
+    @property
+    def avg_row_bytes(self) -> float:
+        return self.total_bytes / self.rows if self.rows else 0.0
+
+    @property
+    def avg_cell_bytes(self) -> float:
+        return self.total_bytes / self.cells if self.cells else 0.0
+
+
+@dataclass(frozen=True)
+class BFHMIndexStatistics(IndexStatistics):
+    """BFHM adds per-bucket blob facts and the reverse-mapping footprint."""
+
+    m_bits: int = 0
+    num_buckets: int = PLANNER_NUM_BUCKETS
+    #: bucket number -> (tuple count, blob row bytes), descending score order
+    bucket_blobs: "dict[int, tuple[int, int]]" = field(default_factory=dict)
+    reverse_rows: int = 0
+    reverse_cells: int = 0
+    reverse_bytes: int = 0
+
+    @property
+    def avg_reverse_row_bytes(self) -> float:
+        return self.reverse_bytes / self.reverse_rows if self.reverse_rows else 0.0
+
+    @property
+    def avg_reverse_row_cells(self) -> float:
+        return self.reverse_cells / self.reverse_rows if self.reverse_rows else 1.0
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Planner-facing summary of one bound relation."""
+
+    binding: RelationBinding
+    row_count: int
+    distinct_join_values: int
+    total_cells: int
+    total_row_bytes: int
+    avg_join_value_bytes: float
+    avg_row_key_bytes: float
+    histogram: EquiWidthHistogram
+    indexes: "dict[str, IndexStatistics]" = field(default_factory=dict)
+
+    @property
+    def avg_row_bytes(self) -> float:
+        return self.total_row_bytes / self.row_count if self.row_count else 0.0
+
+    @property
+    def avg_cells_per_row(self) -> float:
+        return self.total_cells / self.row_count if self.row_count else 0.0
+
+    def bucket_counts(self) -> "list[int]":
+        """Tuple count per score bucket, bucket 0 = highest scores."""
+        return [
+            self.histogram.bucket(b).count
+            for b in range(self.histogram.num_buckets)
+        ]
+
+    def index(self, kind: str) -> IndexStatistics:
+        return self.indexes.get(kind, IndexStatistics(kind=kind))
+
+
+def _family_footprint(
+    platform: Platform, table_name: str, family: str
+) -> "tuple[int, int, int]":
+    """(rows, cells, bytes) stored under ``family`` — unmetered."""
+    if not platform.store.has_table(table_name):
+        return (0, 0, 0)
+    table = platform.store.backing(table_name)
+    if family not in table.families:
+        return (0, 0, 0)
+    rows = cells = total = 0
+    for row in table.all_rows(families={family}):
+        if row.empty:
+            continue
+        rows += 1
+        cells += len(row)
+        total += row.serialized_size()
+    return (rows, cells, total)
+
+
+def _flat_index_stats(platform: Platform, kind: str, table: str, family: str) -> IndexStatistics:
+    rows, cells, total = _family_footprint(platform, table, family)
+    return IndexStatistics(
+        kind=kind, built=rows > 0, rows=rows, cells=cells, total_bytes=total
+    )
+
+
+def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistics | None":
+    """Stats of the first built BFHM family for ``signature``, if any.
+
+    BFHM families encode the bucket configuration in their name
+    (``<signature>__b<numBuckets>``), so the lookup is by prefix.
+    """
+    if not platform.store.has_table(BFHM_TABLE):
+        return None
+    table = platform.store.backing(BFHM_TABLE)
+    prefix = f"{signature}__b"
+    families = sorted(f for f in table.families if f.startswith(prefix))
+    if not families:
+        return None
+    family = families[0]
+    # decode the meta row straight off the backing table (read_meta would
+    # go through the metered client and bill the statistics pass)
+    from repro.common.serialization import decode_str
+    from repro.core.bfhm.bucket import META_ROW, Q_M_BITS, Q_NUM_BUCKETS
+
+    meta_row = table.read_row(META_ROW, families={family})
+    num_buckets_raw = meta_row.value(family, Q_NUM_BUCKETS)
+    m_bits_raw = meta_row.value(family, Q_M_BITS)
+    if num_buckets_raw is None or m_bits_raw is None:
+        return None
+    meta_num_buckets = int(decode_str(num_buckets_raw))
+    meta_m_bits = int(decode_str(m_bits_raw))
+    # one unmetered pass over the family: blob rows vs reverse rows
+    bucket_blobs: dict[int, tuple[int, int]] = {}
+    reverse_rows = reverse_cells = reverse_bytes = 0
+    rows = cells = total = 0
+    for row in table.all_rows(families={family}):
+        if row.empty:
+            continue
+        rows += 1
+        cells += len(row)
+        size = row.serialized_size()
+        total += size
+        if row.row.startswith("B") and row.value(family, Q_BLOB) is not None:
+            count_raw = row.value(family, Q_COUNT)
+            count = int(decode_str(count_raw)) if count_raw is not None else 0
+            bucket_blobs[int(row.row[1:])] = (count, size)
+        elif row.row.startswith("R"):
+            reverse_rows += 1
+            reverse_cells += len(row)
+            reverse_bytes += size
+    return BFHMIndexStatistics(
+        kind="bfhm",
+        built=bool(bucket_blobs),
+        rows=rows,
+        cells=cells,
+        total_bytes=total,
+        m_bits=meta_m_bits,
+        num_buckets=meta_num_buckets,
+        bucket_blobs=bucket_blobs,
+        reverse_rows=reverse_rows,
+        reverse_cells=reverse_cells,
+        reverse_bytes=reverse_bytes,
+    )
+
+
+def gather_statistics(
+    platform: Platform,
+    binding: RelationBinding,
+    num_buckets: int = PLANNER_NUM_BUCKETS,
+) -> TableStatistics:
+    """One unmetered statistics pass over ``binding``'s base relation and
+    whatever indices exist for its signature."""
+    if not platform.store.has_table(binding.table):
+        raise PlanningError(
+            f"cannot plan over unknown table {binding.table!r}"
+        )
+    rows = load_relation(platform.store, binding)
+    if not rows:
+        raise PlanningError(
+            f"cannot plan over empty relation {binding.table!r}"
+        )
+    histogram = EquiWidthHistogram(num_buckets)
+    join_values: set[str] = set()
+    join_bytes = 0
+    key_bytes = 0
+    for scored in rows:
+        # the paper's score domain is [0, 1]; clamp so planning never
+        # crashes on a denormalized outlier
+        histogram.add(min(max(scored.score, 0.0), 1.0))
+        join_values.add(scored.join_value)
+        join_bytes += len(scored.join_value.encode("utf-8"))
+        key_bytes += len(scored.row_key.encode("utf-8"))
+
+    backing = platform.store.backing(binding.table)
+    total_cells = 0
+    total_row_bytes = 0
+    for row in backing.all_rows(families={binding.family}):
+        total_cells += len(row)
+        total_row_bytes += row.serialized_size()
+
+    signature = binding.signature
+    indexes: dict[str, IndexStatistics] = {
+        "ijlmr": _flat_index_stats(platform, "ijlmr", IJLMR_TABLE, signature),
+        "isl": _flat_index_stats(platform, "isl", ISL_TABLE, signature),
+        "drjn": _flat_index_stats(platform, "drjn", DRJN_TABLE, signature),
+    }
+    bfhm = _bfhm_index_stats(platform, signature)
+    indexes["bfhm"] = bfhm if bfhm is not None else IndexStatistics(kind="bfhm")
+
+    return TableStatistics(
+        binding=binding,
+        row_count=len(rows),
+        distinct_join_values=len(join_values),
+        total_cells=total_cells,
+        total_row_bytes=total_row_bytes,
+        avg_join_value_bytes=join_bytes / len(rows),
+        avg_row_key_bytes=key_bytes / len(rows),
+        histogram=histogram,
+        indexes=indexes,
+    )
+
+
+class StatisticsCatalog:
+    """Per-platform cache of :class:`TableStatistics`.
+
+    Keyed by relation signature + family.  ``invalidate(table)`` drops every
+    cached entry over that base table; the maintenance interceptor calls it
+    after each applied mutation so plans never price stale data.
+    """
+
+    def __init__(self, platform: Platform, num_buckets: int = PLANNER_NUM_BUCKETS) -> None:
+        self.platform = platform
+        self.num_buckets = num_buckets
+        self._cache: dict[tuple[str, str], TableStatistics] = {}
+        self.gather_count = 0
+        self.invalidation_count = 0
+        #: bumped on every invalidation; consumers (the planner's plan
+        #: cache) use it to detect that cached derivations went stale
+        self.version = 0
+
+    def _key(self, binding: RelationBinding) -> tuple[str, str]:
+        return (binding.signature, binding.family)
+
+    def stats_for(self, binding: RelationBinding) -> TableStatistics:
+        """Cached statistics for ``binding`` (gathered on first use)."""
+        key = self._key(binding)
+        if key not in self._cache:
+            self._cache[key] = gather_statistics(
+                self.platform, binding, self.num_buckets
+            )
+            self.gather_count += 1
+        return self._cache[key]
+
+    def invalidate(self, table: str) -> int:
+        """Drop cached statistics over base table ``table``; returns the
+        number of entries dropped.  Index tables fan in through their base
+        relation, so invalidating the base covers the index stats too."""
+        stale = [
+            key
+            for key, stats in self._cache.items()
+            if stats.binding.table == table
+        ]
+        for key in stale:
+            del self._cache[key]
+        if stale:
+            self.invalidation_count += 1
+        self.version += 1
+        return len(stale)
+
+    def invalidate_all(self) -> None:
+        """Drop every cached entry (and mark derived plans stale)."""
+        self._cache.clear()
+        self.version += 1
+
+    @property
+    def cached_signatures(self) -> "list[str]":
+        return sorted(signature for signature, _ in self._cache)

@@ -1,0 +1,120 @@
+"""End-to-end: ``algorithm="auto"`` and EXPLAIN through the engine facade."""
+
+from __future__ import annotations
+
+from repro.tpch.queries import Q1_SQL, Q2_SQL, q1, q2
+
+
+class TestAutoAlgorithm:
+    def test_auto_is_the_default_and_returns_correct_results(self, shared_setup):
+        engine = shared_setup.engine
+        result = engine.sql(Q1_SQL.format(k=10))
+        truth = shared_setup.ground_truth(q1(10), 10)
+        assert result.recall_against(truth) == 1.0
+        assert engine.last_plan is not None
+        assert result.algorithm.lower() == engine.last_plan.chosen
+
+    def test_auto_picks_a_coordinator_algorithm(self, shared_setup):
+        result = shared_setup.engine.execute(q2(5))
+        assert result.algorithm.lower() in ("isl", "bfhm")
+
+    def test_auto_matches_explicit_run_of_chosen_algorithm(self, shared_setup):
+        engine = shared_setup.engine
+        auto = engine.execute(q1(10), algorithm="auto")
+        explicit = engine.execute(q1(10), algorithm=auto.algorithm.lower())
+        assert auto.scores() == explicit.scores()
+
+    def test_plan_is_recorded_per_auto_run(self, shared_setup):
+        engine = shared_setup.engine
+        engine.execute(q1(5))
+        first = engine.last_plan
+        engine.execute(q2(5))
+        assert engine.last_plan is not first
+        assert engine.last_plan.query.k == 5
+
+    def test_auto_on_empty_relation_falls_back(self, empty_platform):
+        """Unplannable queries (no rows -> no statistics) behave like the
+        pre-planner default instead of raising."""
+        from repro.query.engine import RankJoinEngine
+        from repro.query.spec import RankJoinQuery
+        from repro.relational.binding import RelationBinding
+
+        empty_platform.store.create_table("bare_l", {"d"})
+        empty_platform.store.create_table("bare_r", {"d"})
+        engine = RankJoinEngine(empty_platform)
+        query = RankJoinQuery.of(
+            RelationBinding("bare_l", "j", "s"),
+            RelationBinding("bare_r", "j", "s"),
+            "product", 3,
+        )
+        result = engine.execute(query)
+        assert result.tuples == []
+        assert result.algorithm.lower() == engine.FALLBACK_ALGORITHM
+        assert engine.last_plan is None
+
+    def test_first_use_build_refreshes_statistics(self, tiny_engine):
+        """An index built as an execution side effect must invalidate the
+        cached statistics, so the next plan prices the real footprint."""
+        before = tiny_engine.explain(q1(3))
+        assert not before.statistics["left"].index("isl").built
+        tiny_engine.execute(q1(3), algorithm="isl")  # builds on first use
+        after = tiny_engine.explain(q1(3))
+        assert after.statistics["left"].index("isl").built
+
+    def test_repeated_plans_are_cached_until_invalidation(self, shared_setup):
+        engine = shared_setup.engine
+        first = engine.plan(q1(9))
+        assert engine.plan(q1(9)) is first
+        assert engine.plan(q1(9), objective="network") is not first
+        engine.statistics.invalidate("part")
+        rebuilt = engine.plan(q1(9))
+        assert rebuilt is not first
+        assert rebuilt.chosen == first.chosen
+
+
+class TestExplain:
+    def test_explain_sql_without_executing(self, shared_setup):
+        engine = shared_setup.engine
+        before = shared_setup.platform.metrics.snapshot()
+        plan = engine.explain(Q2_SQL.format(k=20))
+        delta = shared_setup.platform.metrics.snapshot() - before
+        assert delta.sim_time_s == 0.0 and delta.kv_reads == 0
+        assert plan.query.k == 20
+        assert len(plan.estimates) == 6
+
+    def test_explain_accepts_bound_query(self, shared_setup):
+        plan = shared_setup.engine.explain(q1(7))
+        assert plan.query.k == 7
+
+    def test_render_lists_every_algorithm_and_winner(self, shared_setup):
+        plan = shared_setup.engine.explain(Q1_SQL.format(k=10))
+        text = str(plan)
+        assert "QUERY PLAN" in text
+        for name in ("HIVE", "PIG", "IJLMR", "ISL", "BFHM", "DRJN"):
+            assert name in text
+        assert f"chosen: {plan.best.algorithm}" in text
+        assert "breakdown:" in text
+        # statistics footer names both relations
+        assert "rows" in text and "join values" in text
+
+    def test_render_comparison_covers_all_candidates(self, shared_setup):
+        from repro.query.explain import render_comparison
+
+        plan = shared_setup.engine.explain(Q1_SQL.format(k=10))
+        text = render_comparison(plan)
+        assert len(text.splitlines()) == len(plan.estimates)
+        for estimate in plan.estimates:
+            assert text.count(f"{estimate.algorithm}:") == 1
+
+    def test_explain_objective_dollars(self, shared_setup):
+        plan = shared_setup.engine.explain(
+            Q1_SQL.format(k=10), objective="dollars"
+        )
+        assert plan.chosen == "bfhm"  # Fig. 7(c): BFHM wins the cost panel
+
+    def test_statistics_shared_between_plans(self, shared_setup):
+        engine = shared_setup.engine
+        engine.explain(Q1_SQL.format(k=1))
+        gathered = engine.statistics.gather_count
+        engine.explain(Q1_SQL.format(k=100))
+        assert engine.statistics.gather_count == gathered

@@ -1,0 +1,85 @@
+"""Documentation health check (the ``make docs-check`` target).
+
+Two gates:
+
+1. **Docstring coverage** — every public module under ``src/repro`` (and
+   every public class/function defined at module top level) must carry a
+   docstring.  Names prefixed with ``_`` are exempt.
+2. **README executability** — every ``python`` code block in README.md
+   must actually run.  Blocks are executed in one shared namespace, in
+   order, from the repository root (matching the instructions readers
+   follow).
+
+Exits non-zero with a report of every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+README = REPO_ROOT / "README.md"
+
+_CODE_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_docstrings() -> list[str]:
+    """Modules / top-level defs under src/repro lacking docstrings."""
+    problems = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        relative = path.relative_to(REPO_ROOT)
+        if any(part.startswith("_") and part != "__init__.py" for part in relative.parts):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            problems.append(f"{relative}: missing module docstring")
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                problems.append(
+                    f"{relative}:{node.lineno}: public "
+                    f"{'class' if isinstance(node, ast.ClassDef) else 'function'} "
+                    f"{node.name!r} missing docstring"
+                )
+    return problems
+
+
+def check_readme_blocks() -> list[str]:
+    """Run README's python blocks; return failures."""
+    problems = []
+    if not README.exists():
+        return ["README.md not found"]
+    blocks = _CODE_BLOCK_RE.findall(README.read_text(encoding="utf-8"))
+    if not blocks:
+        return ["README.md has no ```python blocks to verify"]
+    namespace: dict = {"__name__": "__readme__"}
+    sys.path.insert(0, str(SRC_ROOT))
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"README.md#block{index}", "exec"), namespace)
+        except Exception as error:  # noqa: BLE001 - report and keep checking
+            problems.append(f"README.md python block {index} failed: {error!r}")
+    return problems
+
+
+def main() -> int:
+    problems = check_docstrings()
+    readme_problems = check_readme_blocks()
+    for problem in problems + readme_problems:
+        print(f"docs-check: {problem}")
+    if problems or readme_problems:
+        print(f"docs-check: FAILED ({len(problems) + len(readme_problems)} problems)")
+        return 1
+    print("docs-check: OK (docstrings complete, README blocks run)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
