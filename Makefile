@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check examples all
+.PHONY: test bench bench-wallclock docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -10,6 +10,12 @@ test:
 ## figure regenerations + planner-quality grid only
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+## wall-clock read-path micro-benchmarks, diffed against the committed
+## BENCH_read_path.json baseline (warns, never fails, on regression)
+bench-wallclock:
+	BENCH_OUT=BENCH_read_path.candidate.json $(PYTHON) -m pytest benchmarks/test_wallclock.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_read_path.json BENCH_read_path.candidate.json
 
 ## docstring coverage + README code blocks actually run
 docs-check:

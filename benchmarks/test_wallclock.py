@@ -1,0 +1,124 @@
+"""Wall-clock micro-benchmarks of the storage read path.
+
+Unlike the figure benchmarks (which measure *simulated* cost), these time
+the real elapsed seconds of the store's hot operations — index-style bulk
+build, point gets, ``limit``-ed scans, and full scans — over a table big
+enough that the lazy merge scan and the memtable row index matter.
+
+Run through ``make bench-wallclock`` the results are written to a candidate
+JSON (via ``BENCH_OUT``) and diffed against the committed
+``BENCH_read_path.json`` baseline, warning — not failing — on regression.
+Under plain pytest nothing is written; the tests only assert the structural
+speed relationships that the streaming read path guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.platform import Platform
+from repro.store.client import Get, Put, Scan
+
+#: rows in the micro-benchmark table (N >> limit so laziness dominates)
+N_ROWS = 20_000
+N_POINT_GETS = 2_000
+N_LIMITED_SCANS = 200
+SCAN_LIMIT = 10
+RNG_SEED = 1234
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _row_key(i: int) -> str:
+    return f"r{i:07d}"
+
+
+@pytest.fixture(scope="module")
+def results() -> "dict[str, dict[str, float]]":
+    """Run every micro-workload once and package (seconds, ops, per-op µs)."""
+    platform = Platform(EC2_PROFILE)
+    htable = platform.store.create_table("bench", {"d"})
+    out: dict[str, dict[str, float]] = {}
+
+    def record(name: str, seconds: float, ops: int) -> None:
+        out[name] = {
+            "seconds": round(seconds, 6),
+            "ops": ops,
+            "per_op_us": round(seconds / max(1, ops) * 1e6, 3),
+        }
+
+    puts = [
+        Put(_row_key(i)).add("d", "q", b"x" * 32).add("d", "score", b"%08d" % i)
+        for i in range(N_ROWS)
+    ]
+    record("build", _timed(lambda: (htable.put_batch(puts), htable.flush())), N_ROWS)
+
+    rng = random.Random(RNG_SEED)
+    gets = [Get(_row_key(rng.randrange(N_ROWS))) for _ in range(N_POINT_GETS)]
+    # half the rows re-written so point gets hit memtable + SSTable merges
+    htable.put_batch(
+        [Put(_row_key(i)).add("d", "q", b"y" * 32) for i in range(0, N_ROWS, 2)]
+    )
+    record(
+        "point_get",
+        _timed(lambda: [htable.get(get) for get in gets]),
+        N_POINT_GETS,
+    )
+
+    starts = [_row_key(rng.randrange(N_ROWS)) for _ in range(N_LIMITED_SCANS)]
+    record(
+        "limited_scan",
+        _timed(
+            lambda: [
+                list(htable.scan(Scan(start_row=start, limit=SCAN_LIMIT)))
+                for start in starts
+            ]
+        ),
+        N_LIMITED_SCANS,
+    )
+
+    record("full_scan", _timed(lambda: htable.scan_all()), 1)
+    return out
+
+
+class TestWallClock:
+    def test_limited_scan_is_lazy(self, results):
+        """A limit=10 scan of a 20k-row table must be far cheaper than a
+        full scan — the whole point of the streaming merge."""
+        limited = results["limited_scan"]["per_op_us"]
+        full = results["full_scan"]["per_op_us"]
+        assert limited * 3 < full, results
+
+    def test_point_get_is_indexed(self, results):
+        """A point get must not cost like sweeping the table."""
+        get = results["point_get"]["per_op_us"]
+        full = results["full_scan"]["per_op_us"]
+        assert get * 10 < full, results
+
+    def test_report_written(self, results):
+        """Write the JSON report when BENCH_OUT names a path."""
+        out_path = os.environ.get("BENCH_OUT")
+        if not out_path:
+            pytest.skip("BENCH_OUT not set; not writing a report")
+        report = {
+            "meta": {
+                "n_rows": N_ROWS,
+                "point_gets": N_POINT_GETS,
+                "limited_scans": N_LIMITED_SCANS,
+                "scan_limit": SCAN_LIMIT,
+            },
+            "workloads": results,
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")

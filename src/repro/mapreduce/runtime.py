@@ -88,7 +88,7 @@ class JobRunner:
         table = self.store.backing(table_name)
         splits = []
         for region in table.regions:
-            rows = region.scan_rows(families=families)
+            rows = list(region.scan_rows(families=families))
             if tag is None:
                 records = [(row.row, row) for row in rows]
             else:

@@ -94,7 +94,7 @@ class BloomFilter:
 
     def set_bit_count(self) -> int:
         """Number of set bits (popcount of the bitmap)."""
-        return sum(bin(byte).count("1") for byte in self._bits)
+        return int.from_bytes(self._bits, "little").bit_count()
 
     def serialized_size(self) -> int:
         """Bytes occupied by the raw bitmap."""

@@ -23,20 +23,46 @@ class Cell:
     value: bytes
     timestamp: int
     is_delete: bool = False
+    # lazily-computed serialized_size; excluded from init/eq/hash/repr so
+    # dataclasses.replace can never carry a stale size into a modified cell
+    _size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def sort_key(self) -> tuple[str, str, str, int]:
         """HBase KeyValue ordering: newest version of a column first."""
         return (self.row, self.family, self.qualifier, -self.timestamp)
 
     def serialized_size(self) -> int:
-        """On-disk / on-wire size of the cell."""
-        return (
-            len(self.row.encode("utf-8"))
-            + len(self.family.encode("utf-8"))
-            + len(self.qualifier.encode("utf-8"))
-            + len(self.value)
-            + 9  # 8-byte timestamp + 1-byte type
-        )
+        """On-disk / on-wire size of the cell (cached after first call)."""
+        size = self._size
+        if size < 0:
+            size = (
+                len(self.row.encode("utf-8"))
+                + len(self.family.encode("utf-8"))
+                + len(self.qualifier.encode("utf-8"))
+                + len(self.value)
+                + 9  # 8-byte timestamp + 1-byte type
+            )
+            object.__setattr__(self, "_size", size)
+        return size
+
+
+def _visible_of_column(column_cells: "list[Cell]") -> "Cell | None":
+    """Visible version of one column's raw cells, or ``None`` if deleted.
+
+    A tombstone masks every version with timestamp <= its own, even one
+    arriving in the same batch — so compute the horizon first.
+    """
+    delete_horizon = max(
+        (cell.timestamp for cell in column_cells if cell.is_delete),
+        default=-1,
+    )
+    chosen: Cell | None = None
+    for cell in column_cells:
+        if cell.is_delete or cell.timestamp <= delete_horizon:
+            continue
+        if chosen is None or cell.timestamp > chosen.timestamp:
+            chosen = cell
+    return chosen
 
 
 def resolve_versions(cells: Iterable[Cell]) -> list[Cell]:
@@ -52,22 +78,62 @@ def resolve_versions(cells: Iterable[Cell]) -> list[Cell]:
 
     visible: list[Cell] = []
     for column_cells in by_column.values():
-        # a tombstone masks every version with timestamp <= its own, even
-        # one arriving in the same batch — so compute the horizon first
-        delete_horizon = max(
-            (cell.timestamp for cell in column_cells if cell.is_delete),
-            default=-1,
-        )
-        chosen: Cell | None = None
-        for cell in column_cells:
-            if cell.is_delete or cell.timestamp <= delete_horizon:
-                continue
-            if chosen is None or cell.timestamp > chosen.timestamp:
-                chosen = cell
+        chosen = _visible_of_column(column_cells)
         if chosen is not None:
             visible.append(chosen)
     visible.sort(key=Cell.sort_key)
     return visible
+
+
+def iter_visible(sorted_cells: Iterable[Cell]) -> Iterator[Cell]:
+    """Streaming :func:`resolve_versions` over KeyValue-ordered cells.
+
+    The input must already be sorted by :meth:`Cell.sort_key` (e.g. the
+    output of a k-way merge of memtable and SSTable iterators), so all raw
+    versions of one ``(row, family, qualifier)`` column are contiguous.  The
+    resolver then needs only one column group in memory at a time and yields
+    visible cells as soon as each group closes — this is what lets a
+    ``limit``-ed scan stop without materializing the region.
+    """
+    current_key: "tuple[str, str, str] | None" = None
+    group: list[Cell] = []
+    for cell in sorted_cells:
+        key = (cell.row, cell.family, cell.qualifier)
+        if key != current_key:
+            if group:
+                chosen = _visible_of_column(group)
+                if chosen is not None:
+                    yield chosen
+            current_key = key
+            group = [cell]
+        else:
+            group.append(cell)
+    if group:
+        chosen = _visible_of_column(group)
+        if chosen is not None:
+            yield chosen
+
+
+def iter_row_results(
+    visible: Iterable[Cell], families: "set[str] | None" = None
+) -> "Iterator[RowResult]":
+    """Group an already-resolved, sorted cell stream into per-row results.
+
+    Rows whose cells are all filtered out by ``families`` are skipped, so a
+    family-restricted scan never ships empty rows (matching the eager
+    :func:`group_rows` behaviour on a pre-filtered list).
+    """
+    current: RowResult | None = None
+    for cell in visible:
+        if families is not None and cell.family not in families:
+            continue
+        if current is None or current.row != cell.row:
+            if current is not None:
+                yield current
+            current = RowResult(cell.row)
+        current.cells.append(cell)
+    if current is not None:
+        yield current
 
 
 @dataclass(slots=True)
@@ -107,11 +173,4 @@ class RowResult:
 
 def group_rows(cells: Iterable[Cell]) -> list[RowResult]:
     """Group already-resolved, sorted cells into per-row results."""
-    results: list[RowResult] = []
-    current: RowResult | None = None
-    for cell in cells:
-        if current is None or current.row != cell.row:
-            current = RowResult(cell.row)
-            results.append(current)
-        current.cells.append(cell)
-    return results
+    return list(iter_row_results(cells))

@@ -207,16 +207,13 @@ class HTable:
             return
         model = self.ctx.cost_model
         payload = sum(cell.serialized_size() for cell in cells)
-        regions_touched = set()
-        for cell in cells:
-            self.table.apply(cell)
-            regions_touched.add(id(self.table.region_for(cell.row)))
+        regions_touched = self.table.apply_batch(cells)
         # client -> server transfer + WAL replication (HDFS pipeline writes
         # replication-1 extra copies across the network)
         replicated = payload * (model.hdfs_replication - 1)
         self.ctx.metrics.add_network(payload + replicated)
         self.ctx.metrics.advance_time(
-            len(regions_touched) * model.rpc_latency_s
+            regions_touched * model.rpc_latency_s
             + model.network_time(payload + replicated)
         )
 

@@ -3,13 +3,22 @@
 NoSQL stores achieve their high write throughput with "memory caches and
 append-only storage semantics" (§1): writes land in a sorted in-memory
 buffer which is flushed to an immutable sorted segment when full.
+
+Two access paths are kept hot: a per-row index serves point gets without
+sweeping the buffer (BFHM's reverse-mapping phase is point-get heavy), and
+a lazily-sorted cell list serves scans, seekable via binary search so a
+range scan never touches cells before its start row.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from operator import attrgetter
 from typing import Iterable, Iterator
 
 from repro.store.cell import Cell
+
+_ROW_OF_CELL = attrgetter("row")
 
 
 class MemTable:
@@ -17,6 +26,7 @@ class MemTable:
 
     def __init__(self) -> None:
         self._cells: list[Cell] = []
+        self._by_row: dict[str, list[Cell]] = {}
         self._sorted = True
         self.byte_size = 0
 
@@ -32,6 +42,11 @@ class MemTable:
         if self._cells and self._sorted:
             self._sorted = cell.sort_key() >= self._cells[-1].sort_key()
         self._cells.append(cell)
+        bucket = self._by_row.get(cell.row)
+        if bucket is None:
+            self._by_row[cell.row] = [cell]
+        else:
+            bucket.append(cell)
         self.byte_size += cell.serialized_size()
 
     def add_all(self, cells: Iterable[Cell]) -> None:
@@ -40,7 +55,10 @@ class MemTable:
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
-            self._cells.sort(key=Cell.sort_key)
+            # rebind rather than sort in place: live range iterators hold a
+            # reference to the old list, so a re-sort (or drain) can never
+            # shift cells underneath an open scan
+            self._cells = sorted(self._cells, key=Cell.sort_key)
             self._sorted = True
 
     def cells(self) -> Iterator[Cell]:
@@ -49,12 +67,39 @@ class MemTable:
         return iter(self._cells)
 
     def cells_for_row(self, row: str) -> list[Cell]:
-        """All raw cells of one row."""
-        return [cell for cell in self._cells if cell.row == row]
+        """All raw cells of one row (O(1) via the per-row index)."""
+        return list(self._by_row.get(row, ()))
+
+    def iter_range(
+        self, start_row: "str | None", stop_row: "str | None"
+    ) -> Iterator[Cell]:
+        """Cells with ``start_row <= row < stop_row`` in KeyValue order.
+
+        Seeks to ``start_row`` by binary search and stops yielding at the
+        first cell past ``stop_row`` — a lazy source for merge scans.  The
+        cell list and its length are captured up front, so the iterator is a
+        stable snapshot even if cells are added (appended) or the buffer is
+        re-sorted (rebound) or drained while the scan is open.
+        """
+        self._ensure_sorted()
+        cells = self._cells
+        lo = 0 if start_row is None else bisect_left(cells, start_row, key=_ROW_OF_CELL)
+        return self._iter_slice(cells, lo, len(cells), stop_row)
+
+    @staticmethod
+    def _iter_slice(
+        cells: "list[Cell]", lo: int, hi: int, stop_row: "str | None"
+    ) -> Iterator[Cell]:
+        for index in range(lo, hi):
+            cell = cells[index]
+            if stop_row is not None and cell.row >= stop_row:
+                return
+            yield cell
 
     def drain(self) -> list[Cell]:
         """Return all cells sorted and clear the buffer (flush support)."""
         self._ensure_sorted()
         cells, self._cells = self._cells, []
+        self._by_row = {}
         self.byte_size = 0
         return cells

@@ -12,10 +12,17 @@ stored next to each other on the same node").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+import heapq
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import RegionError
-from repro.store.cell import Cell, RowResult, group_rows, resolve_versions
+from repro.store.cell import (
+    Cell,
+    RowResult,
+    iter_row_results,
+    iter_visible,
+    resolve_versions,
+)
 from repro.store.memtable import MemTable
 from repro.store.sstable import SSTable, compact
 from repro.store.wal import WriteAheadLog
@@ -99,7 +106,7 @@ class Region:
         if self.memtable.empty:
             return
         self.wal.mark_flushed()
-        self.sstables.append(SSTable(self.memtable.drain()))
+        self.sstables.append(SSTable(self.memtable.drain(), presorted=True))
         self.wal.truncate_flushed()
         if len(self.sstables) >= self.compaction_trigger:
             self.compact(major=False)
@@ -125,26 +132,48 @@ class Region:
             cells = [c for c in cells if c.family in families]
         return RowResult(row, cells)
 
+    def merged_cells(
+        self, start_row: "str | None" = None, stop_row: "str | None" = None
+    ) -> Iterator[Cell]:
+        """Raw cells of ``[start_row, stop_row)`` as a lazy k-way merge.
+
+        Each source (memtable + every SSTable) is seeked to ``start_row`` by
+        binary search and merged in KeyValue order; nothing past the last
+        cell consumed is ever touched.  The memtable is listed first so that
+        timestamp ties resolve in its favour, like the eager concat did.
+        """
+        lo = self._clamp_start(start_row)
+        hi = self._clamp_stop(stop_row)
+        sources: list[Iterator[Cell]] = []
+        if not self.memtable.empty:
+            sources.append(self.memtable.iter_range(lo, hi))
+        sources.extend(
+            sstable.iter_range(lo, hi)
+            for sstable in self.sstables
+            if not sstable.empty
+        )
+        if not sources:
+            return iter(())
+        if len(sources) == 1:
+            # common post-flush case: one segment, no merge overhead
+            return sources[0]
+        return heapq.merge(*sources, key=Cell.sort_key)
+
     def scan_rows(
         self,
         start_row: "str | None" = None,
         stop_row: "str | None" = None,
         families: "set[str] | None" = None,
-    ) -> list[RowResult]:
-        """Resolved rows in ``[start_row, stop_row)`` within this region."""
-        lo = self._clamp_start(start_row)
-        hi = self._clamp_stop(stop_row)
-        raw: list[Cell] = [
-            cell
-            for cell in self.memtable.cells()
-            if (lo is None or cell.row >= lo) and (hi is None or cell.row < hi)
-        ]
-        for sstable in self.sstables:
-            raw.extend(sstable.cells_in_range(lo, hi))
-        visible = resolve_versions(raw)
-        if families is not None:
-            visible = [c for c in visible if c.family in families]
-        return group_rows(visible)
+    ) -> Iterator[RowResult]:
+        """Resolved rows in ``[start_row, stop_row)`` within this region.
+
+        A generator: versions are resolved in one streaming pass over the
+        merged sources, so consuming only k rows (a ``limit``-ed scan) costs
+        O(k) cells, not O(region).
+        """
+        return iter_row_results(
+            iter_visible(self.merged_cells(start_row, stop_row)), families
+        )
 
     def raw_cell_count(self) -> int:
         """Raw stored cells (for dollar-cost accounting of full scans)."""

@@ -5,10 +5,18 @@ sequentially from its segments (charging disk time and one KV read unit per
 cell *scanned*, not per cell shipped), applies the server-side filter if
 any, and ships only matching rows.  This split between "read" and "shipped"
 is what lets DRJN trade dollar cost for bandwidth (§7.1–7.2).
+
+Rows are pulled lazily from the region's streaming merge
+(:meth:`~repro.store.region.Region.scan_rows`): each RPC batch materializes
+only its ``caching`` rows, and a ``limit``-ed scan stops pulling from the
+merge the moment enough rows have shipped.  The simulated costs charged per
+batch are identical to the old materialize-then-batch scanner — only the
+wall-clock work changes.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import TYPE_CHECKING, Iterator
 
 from repro.store.cell import RowResult
@@ -37,14 +45,14 @@ class RegionScanner:
         caching = max(1, scan.caching)
 
         for region in table.regions_in_range(scan.start_row, scan.stop_row):
-            # region server materializes its slice once, then serves batches
+            # region server streams its slice; each RPC pulls one batch
             rows = region.scan_rows(scan.start_row, scan.stop_row, scan.families)
-            position = 0
-            while position < len(rows):
+            while True:
                 if limit is not None and self.rows_returned >= limit:
                     return
-                batch = rows[position : position + caching]
-                position += caching
+                batch = list(islice(rows, caching))
+                if not batch:
+                    break
                 self.rpc_round_trips += 1
 
                 scanned_cells = sum(len(row) for row in batch)
@@ -53,9 +61,10 @@ class RegionScanner:
 
                 if scan.filter is not None:
                     shipped = [row for row in batch if scan.filter.matches(row)]
+                    shipped_bytes = sum(row.serialized_size() for row in shipped)
                 else:
                     shipped = batch
-                shipped_bytes = sum(row.serialized_size() for row in shipped)
+                    shipped_bytes = scanned_bytes
                 ctx.charge_rpc(
                     RESPONSE_OVERHEAD_BYTES, RESPONSE_OVERHEAD_BYTES + shipped_bytes
                 )

@@ -71,13 +71,13 @@ class TestReadWrite:
         region = Region("r2", "r8", node)
         for i in range(2, 8):
             region.apply(cell(f"r{i}"))
-        rows = region.scan_rows("r0", "r5")
+        rows = list(region.scan_rows("r0", "r5"))
         assert [r.row for r in rows] == ["r2", "r3", "r4"]
 
     def test_family_filter(self, node):
         region = Region(None, None, node)
         region.apply(Cell("r1", "d", "q", b"v", 1))
-        rows = region.scan_rows(families={"other"})
+        rows = list(region.scan_rows(families={"other"}))
         assert rows == []
 
 
@@ -115,7 +115,7 @@ class TestSplit:
         assert split_key is not None
         lower, upper = region.split(split_key, cluster.workers[1])
         assert lower.stop_key == split_key == upper.start_key
-        total = len(lower.scan_rows()) + len(upper.scan_rows())
+        total = len(list(lower.scan_rows())) + len(list(upper.scan_rows()))
         assert total == 10
         assert all(r.row < split_key for r in lower.scan_rows())
         assert all(r.row >= split_key for r in upper.scan_rows())

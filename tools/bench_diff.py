@@ -1,0 +1,62 @@
+"""Diff a fresh wall-clock benchmark run against the committed baseline.
+
+Usage: python tools/bench_diff.py BASELINE.json CANDIDATE.json
+
+Prints a per-workload comparison and warns — exit code stays 0 — when a
+workload regressed by more than ``WARN_RATIO``.  Wall-clock numbers are
+machine- and load-dependent, so a regression here is a prompt to look, not
+a CI failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: warn when candidate seconds exceed baseline seconds by this factor
+WARN_RATIO = 1.25
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as fh:
+            baseline = json.load(fh)["workloads"]
+    except FileNotFoundError:
+        print(f"no baseline at {argv[1]}; nothing to diff against")
+        return 0
+    with open(argv[2]) as fh:
+        candidate = json.load(fh)["workloads"]
+
+    warned = False
+    header = f"{'workload':<14}{'baseline s':>12}{'candidate s':>13}{'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(name, {}).get("seconds")
+        cand = candidate.get(name, {}).get("seconds")
+        if base is None or cand is None:
+            print(f"{name:<14}{base or '—':>12}{cand or '—':>13}{'new':>8}")
+            continue
+        ratio = cand / base if base else float("inf")
+        flag = ""
+        if ratio > WARN_RATIO:
+            flag = "  <-- WARNING: regression"
+            warned = True
+        print(f"{name:<14}{base:>12.4f}{cand:>13.4f}{ratio:>8.2f}{flag}")
+    if warned:
+        print(
+            f"\nWARNING: at least one workload slowed by >{WARN_RATIO}x vs the"
+            " committed baseline.\nIf the machine was otherwise idle, investigate"
+            " before merging; refresh the baseline by copying the candidate over"
+            " BENCH_read_path.json if the change is intended."
+        )
+    else:
+        print("\nok: no workload regressed past the warning threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
