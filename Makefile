@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-wallclock docs-check examples all
+.PHONY: test bench bench-planner bench-wallclock docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -10,6 +10,12 @@ test:
 ## figure regenerations + planner-quality grid only
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+## planner-accuracy grid (fig7+fig8 hit rate + per-cell regret), diffed
+## against the committed BENCH_planner.json baseline (warn-only)
+bench-planner:
+	BENCH_PLANNER_OUT=BENCH_planner.candidate.json $(PYTHON) -m pytest benchmarks/test_planner_accuracy.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_planner.json BENCH_planner.candidate.json
 
 ## wall-clock read-path micro-benchmarks, diffed against the committed
 ## BENCH_read_path.json baseline (warns, never fails, on regression)

@@ -6,15 +6,26 @@ query × k).  This harness replays that grid, measures every candidate
 algorithm, and scores the planner two ways:
 
 * **hit rate** — fraction of cells where ``algorithm="auto"`` would have
-  picked the measured-fastest algorithm (acceptance floor: 70%);
+  picked the measured-fastest algorithm (acceptance floor: 70%; current
+  target since the §5.3 cascade became part of the BFHM simulator: 19/20);
 * **regret** — time of the planner's choice relative to the fastest
   (how much a wrong pick actually costs).
 
-Calibration snapshot at the time of writing: 18/20 cells (90%), mean
-regret ≈ 1.01×; both misses are ISL/BFHM near-ties on the LC profile.
+Calibration snapshot at the time of writing: 19/20 cells (95%), mean
+regret ≈ 1.003×; the single miss is an ISL/BFHM near-tie (LC Q1 k=20,
+regret 1.05) driven by ISL's slight underestimate.  The former worst cell
+— LC Q2 k=100, where the repair cascade was priced as free — now
+estimates within 15% of measured (asserted below).
+
+Run through ``make bench-planner`` the per-cell regrets are written to a
+candidate JSON (via ``BENCH_PLANNER_OUT``) and diffed warn-only against
+the committed ``BENCH_planner.json`` baseline.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
@@ -26,7 +37,11 @@ EC2_ALGORITHMS = ["hive", "pig", "ijlmr", "isl", "bfhm"]
 LC_ALGORITHMS = ["isl", "bfhm", "drjn"]
 
 ACCURACY_FLOOR = 0.70
+#: fig7+fig8 cells the planner must pick correctly (ISSUE 3 acceptance)
+ACCURACY_TARGET_HITS = 19
 REGRET_CEILING = 1.10
+#: |est - measured| / measured ceiling for the repair-cascade showcase cell
+CASCADE_CELL_TOLERANCE = 0.15
 
 _CACHE: dict = {}
 
@@ -108,9 +123,74 @@ class TestPlannerAccuracy:
         print(f"\nplanner accuracy: {hits}/{len(cells)} = {accuracy:.0%}, "
               f"mean regret {mean_regret:.3f}x")
         assert accuracy >= ACCURACY_FLOOR
+        assert hits >= ACCURACY_TARGET_HITS
         # even when the planner misses, it must miss between near-ties:
         # the chosen algorithm stays close to the measured optimum
         assert mean_regret <= REGRET_CEILING
+
+    def test_repair_cascade_cell_estimated_within_tolerance(self, lc_setup,
+                                                            benchmark):
+        """The ISSUE-3 cell: LC Q2 k=100's §5.3 cascade (2 repair rounds,
+        ~380 re-admitted pairs) used to be priced as free, leaving BFHM
+        ~22% underestimated; the symbolic replay must land within 15%."""
+        cells = benchmark.pedantic(
+            lambda: _grid(lc_setup, LC_ALGORITHMS, "lc"),
+            rounds=1, iterations=1,
+        )
+        (cell,) = [c for c in cells if c[0] == "Q2" and c[1] == 100]
+        _, _, measured, plan = cell
+        estimate = plan.estimate("bfhm")
+        error = abs(estimate.time_s - measured["bfhm"].time_s)
+        assert error / measured["bfhm"].time_s <= CASCADE_CELL_TOLERANCE
+        # the run really cascades, and the simulator says so too
+        assert measured["bfhm"].details["repair_rounds"] >= 1
+        assert any(
+            component.startswith("repair r")
+            for component in estimate.breakdown
+        )
+
+    def test_explain_shows_repair_round_cost_lines(self, lc_setup):
+        """EXPLAIN renders the cascade's per-round cost components."""
+        plan = lc_setup.engine.plan(q2(100), algorithms=LC_ALGORITHMS)
+        rendered = plan.render()
+        # per-round components appear in the per-algorithm cost lines ...
+        assert "repair r1" in rendered
+        assert "repair r2" in rendered
+        # ... and the BFHM estimate carries the cascade summary note
+        assert any(
+            note.startswith("repair cascade:")
+            for note in plan.estimate("bfhm").notes
+        )
+
+    def test_bench_planner_report_written(self, ec2_setup, lc_setup):
+        """Write per-cell regrets when BENCH_PLANNER_OUT names a path
+        (the `make bench-planner` flow, diffed via tools/bench_diff.py)."""
+        out_path = os.environ.get("BENCH_PLANNER_OUT")
+        if not out_path:
+            pytest.skip("BENCH_PLANNER_OUT not set; not writing a report")
+        ec2_cells = _grid(ec2_setup, EC2_ALGORITHMS, "ec2")
+        lc_cells = _grid(lc_setup, LC_ALGORITHMS, "lc")
+        cells = ec2_cells + lc_cells
+        hits, regrets, _ = _score(cells)
+        workloads = {}
+        labeled = ([("ec2", cell) for cell in ec2_cells]
+                   + [("lc", cell) for cell in lc_cells])
+        for grid, (qname, k, measured, plan) in labeled:
+            fastest = min(measured, key=lambda name: measured[name].time_s)
+            regret = measured[plan.chosen].time_s / measured[fastest].time_s
+            workloads[f"{grid}_{qname}_k{k}"] = {
+                "seconds": round(regret, 6),
+                "chosen": plan.chosen,
+                "fastest": fastest,
+            }
+        workloads["mean_regret"] = {
+            "seconds": round(sum(regrets) / len(regrets), 6),
+            "hits": hits,
+            "cells": len(cells),
+        }
+        with open(out_path, "w") as fh:
+            json.dump({"workloads": workloads}, fh, indent=1, sort_keys=True)
+            fh.write("\n")
 
     def test_never_picks_a_mapreduce_baseline(self, ec2_setup, benchmark):
         """Coordinator algorithms dominate interactive queries on both

@@ -18,6 +18,8 @@ The §5.3 recall-repair loop then guarantees 100% recall:
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
 from repro.core.bfhm.bucket import reverse_row_key
@@ -68,7 +70,10 @@ class _ReverseMappingCache:
                 for bucket, position in missing
             ]
             rows = htable.multi_get(gets)
-            self.rows_fetched += len(rows)
+            # count real traffic only: a missing reverse row (pruned by
+            # updates, or a bit position the other relation set) comes back
+            # as an empty RowResult and carries no tuples
+            self.rows_fetched += sum(1 for row in rows if not row.empty)
             from repro.core.bfhm.bucket import decode_reverse_value
 
             for (bucket, position), row in zip(missing, rows):
@@ -81,6 +86,38 @@ class _ReverseMappingCache:
             (bucket, position): self._cache[(signature, bucket, position)]
             for bucket, position in wanted
         }
+
+
+@dataclass
+class RepairRoundRecord:
+    """Introspection record of one repair-cascade round.
+
+    Round 0 is the initial phase 1 + phase 2 pass; every further record is
+    one iteration of the §5.3 recall-repair loop.  The planner's symbolic
+    replay (:func:`repro.query.planner._simulate_bfhm`) produces the same
+    shape, so estimated and executed cascades are directly comparable.
+    """
+
+    round: int
+    #: blob rows fetched during this round (phase-1 + forced fetches)
+    buckets_fetched: int
+    #: new (non-empty) reverse-mapping rows fetched during this round
+    reverse_rows: int
+    #: exact results materialized at the end of the round
+    actual_results: int
+    #: estimated pairs re-admitted past the purge bound during this round
+    readmitted_pairs: int
+    #: the §5.2 purge bound phase 2 started from (None = nothing purged)
+    purge_bound: "float | None" = None
+
+
+@dataclass
+class _Phase2Outcome:
+    """What one full phase-2 pass (purge + re-admission loop) did."""
+
+    actual: list[JoinTuple] = field(default_factory=list)
+    purge_bound: "float | None" = None
+    readmitted_pairs: int = 0
 
 
 class BFHMRankJoin(RankJoinAlgorithm):
@@ -103,6 +140,9 @@ class BFHMRankJoin(RankJoinAlgorithm):
         self.update_manager = BFHMUpdateManager(
             platform, write_back, writeback_threshold
         )
+        #: per-round introspection of the most recent run (see
+        #: :class:`RepairRoundRecord`); round 0 is the initial pass
+        self.last_repair_trace: list[RepairRoundRecord] = []
 
     # -- index lifecycle --------------------------------------------------------
 
@@ -141,12 +181,31 @@ class BFHMRankJoin(RankJoinAlgorithm):
         )
         cache = _ReverseMappingCache(self.platform)
         k = query.k
+        trace: list[RepairRoundRecord] = []
+        recorded = {"buckets": 0, "rows": 0}
+
+        def record_round(number: int, outcome: _Phase2Outcome) -> None:
+            # per-round deltas; cumulative counters live in estimator/cache
+            trace.append(
+                RepairRoundRecord(
+                    round=number,
+                    buckets_fetched=estimator.buckets_fetched - recorded["buckets"],
+                    reverse_rows=cache.rows_fetched - recorded["rows"],
+                    actual_results=len(outcome.actual),
+                    readmitted_pairs=outcome.readmitted_pairs,
+                    purge_bound=outcome.purge_bound,
+                )
+            )
+            recorded["buckets"] = estimator.buckets_fetched
+            recorded["rows"] = cache.rows_fetched
 
         # ---- phase 1: estimation ----
         estimator.run_until(k)
 
         # ---- phase 2 + §5.3 recall repair ----
-        actual = self._phase2(estimator, cache, query)
+        outcome = self._phase2(estimator, cache, query)
+        record_round(0, outcome)
+        actual = outcome.actual
         repair_rounds = 0
         while True:
             if len(actual) >= k:
@@ -170,21 +229,33 @@ class BFHMRankJoin(RankJoinAlgorithm):
                 fetched_before = estimator.buckets_fetched
                 estimator.run_until(k + (k - len(actual)))
                 if estimator.buckets_fetched == fetched_before:
-                    # estimation thinks it is done; force progress anyway
-                    progressed = estimator.force_fetch(0) or estimator.force_fetch(1)
+                    # estimation thinks it is done; force progress anyway —
+                    # on BOTH sides (`or` would short-circuit and starve
+                    # side 1 while side 0 still has buckets, burning extra
+                    # repair rounds on one-sided exhaustion)
+                    progressed = estimator.force_fetch(0)
+                    progressed = estimator.force_fetch(1) or progressed
                     if not progressed:
                         break
             repair_rounds += 1
-            actual = self._phase2(estimator, cache, query)
+            outcome = self._phase2(estimator, cache, query)
+            record_round(repair_rounds, outcome)
+            actual = outcome.actual
 
         if self.update_manager.policy is WriteBackPolicy.LAZY:
             # lazy write-back happens after the result set is final
             self.update_manager.flush_pending()
 
+        self.last_repair_trace = trace
         details.set("buckets_fetched", estimator.buckets_fetched)
         details.set("estimated_results", len(estimator.results))
         details.set("reverse_rows_fetched", cache.rows_fetched)
         details.set("repair_rounds", repair_rounds)
+        details.set(
+            "readmitted_pairs", sum(entry.readmitted_pairs for entry in trace)
+        )
+        if trace[0].purge_bound is not None:
+            details.set("purge_bound", trace[0].purge_bound)
         return actual[:k]
 
     # -- phase 2 -----------------------------------------------------------------------
@@ -194,7 +265,7 @@ class BFHMRankJoin(RankJoinAlgorithm):
         estimator: BFHMEstimator,
         cache: _ReverseMappingCache,
         query: RankJoinQuery,
-    ) -> list[JoinTuple]:
+    ) -> _Phase2Outcome:
         """Purge, reverse-map, and compute the exact candidate results.
 
         The initial purge follows §5.2 ("purges all estimated results whose
@@ -216,6 +287,7 @@ class BFHMRankJoin(RankJoinAlgorithm):
                 for index, result in enumerate(estimator.results)
                 if result.max_score >= bound - SCORE_EPSILON
             }
+        outcome = _Phase2Outcome(purge_bound=bound)
 
         actual = self._materialize(estimator, cache, query, included)
         while True:
@@ -234,8 +306,10 @@ class BFHMRankJoin(RankJoinAlgorithm):
             if not extra:
                 break
             included |= extra
+            outcome.readmitted_pairs += len(extra)
             actual = self._materialize(estimator, cache, query, included)
-        return actual
+        outcome.actual = actual
+        return outcome
 
     def _materialize(
         self,

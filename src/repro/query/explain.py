@@ -74,6 +74,11 @@ def render_plan(plan: "QueryPlan") -> str:
         lines.append(f"  note: {note}")
     lines.append("")
 
+    lines.append("per-algorithm cost lines:")
+    for comparison_line in render_comparison(plan).splitlines():
+        lines.append(f"  {comparison_line}")
+    lines.append("")
+
     for label in ("left", "right"):
         stats = plan.statistics[label]
         built = sorted(

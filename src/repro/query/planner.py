@@ -34,8 +34,10 @@ from repro.errors import PlanningError
 from repro.query.spec import RankJoinQuery
 from repro.query.statistics import (
     BFHMIndexStatistics,
+    JoinProfile,
     StatisticsCatalog,
     TableStatistics,
+    expected_bucket_join,
 )
 from repro.sketches.histogram import bucket_bounds
 
@@ -56,11 +58,8 @@ OBJECTIVES = {
 #: ISL discovers termination mid-batch but the scanner has already shipped
 #: the whole batch; charge this many extra batches per side
 ISL_OVERSHOOT_BATCHES = 1
-#: slack for BFHM's §5.3 recall-repair loop (extra reverse-row traffic).
-#: The simulation already models repair cascades explicitly, and calibration
-#: against the Fig. 7/8 grids shows its reverse-row counts land within a few
-#: rows of the measured ones — so no blanket padding by default.
-BFHM_REPAIR_ALLOWANCE = 0.0
+
+
 def _remote_fraction(workers: int) -> float:
     """Fraction of shuffle records crossing node boundaries (uniform
     partitioning over W workers leaves 1/W local)."""
@@ -245,6 +244,30 @@ def _profile(stats: TableStatistics) -> _SideProfile:
     )
 
 
+def _bfhm_profile(stats: TableStatistics, num_buckets: int) -> _SideProfile:
+    """Per-bucket profile the BFHM cascade replay runs against.
+
+    When the BFHM index is built, the profile is read straight off its
+    blob rows (actual per-bucket counts and min/max scores, in the exact
+    bucket order the coordinator fetches); otherwise the statistics
+    histogram is re-projected onto the index's bucket grid so bucket
+    numbers line up with stored blob rows.
+    """
+    index = stats.index("bfhm")
+    if isinstance(index, BFHMIndexStatistics) and index.built:
+        rows = index.bucket_profile()
+        if rows:
+            return _SideProfile(
+                buckets=[bucket for bucket, _, _, _ in rows],
+                counts=[float(count) for _, count, _, _ in rows],
+                mins=[low for _, _, low, _ in rows],
+                maxes=[high for _, _, _, high in rows],
+                num_buckets=index.num_buckets,
+                total=float(sum(count for _, count, _, _ in rows)),
+            )
+    return _reproject_profile(_profile(stats), num_buckets)
+
+
 def _join_selectivity(left: TableStatistics, right: TableStatistics) -> float:
     """P(two random tuples join) under the uniform join-key assumption.
 
@@ -253,6 +276,136 @@ def _join_selectivity(left: TableStatistics, right: TableStatistics) -> float:
     ``n_l * n_r / max(d_l, d_r)`` — exact under uniformity.
     """
     return 1.0 / max(left.distinct_join_values, right.distinct_join_values, 1)
+
+
+def _project_join_vectors(
+    profile: _SideProfile, join_profile: "JoinProfile | None"
+) -> "list[dict[int, tuple[float, float]] | None] | None":
+    """Per-sim-bucket join-partition vectors, re-gridded and re-scaled.
+
+    The join profile lives on the statistics histogram grid; the cascade
+    replay runs on the (possibly different) index bucket grid.  Each stats
+    cell is assigned to the sim bucket its midpoint lands in, then every
+    vector is scaled so its tuple count matches the sim profile's bucket
+    count (actual blob-row counts beat histogram counts).
+    """
+    if join_profile is None:
+        return None
+    index_of = {bucket: i for i, bucket in enumerate(profile.buckets)}
+    raw: "list[dict[int, list[float]] | None]" = [None] * len(profile.buckets)
+    for stats_bucket, vector in join_profile.cells.items():
+        position = (stats_bucket + 0.5) / join_profile.num_buckets
+        target = min(profile.num_buckets - 1, int(position * profile.num_buckets))
+        sim_index = index_of.get(target)
+        if sim_index is None:
+            continue
+        accumulated = raw[sim_index]
+        if accumulated is None:
+            accumulated = raw[sim_index] = {}
+        for partition, (count, distinct) in vector.items():
+            cell = accumulated.setdefault(partition, [0.0, 0.0])
+            cell[0] += count
+            cell[1] += distinct
+    out: "list[dict[int, tuple[float, float]] | None]" = []
+    for i, accumulated in enumerate(raw):
+        if accumulated is None:
+            out.append(None)
+            continue
+        total = sum(count for count, _ in accumulated.values())
+        factor = profile.counts[i] / total if total else 1.0
+        out.append({
+            partition: (count * factor, distinct * factor)
+            for partition, (count, distinct) in accumulated.items()
+        })
+    return out
+
+
+class _JoinMatcher:
+    """Per-bucket-pair join expectations from the relations' 2-D profiles.
+
+    Callable ``(left sim bucket index, right sim bucket index) ->
+    (expected tuple-pair matches, expected distinct shared join values)``,
+    or ``None`` when no profile covers a bucket (caller falls back to the
+    uniform-selectivity estimate).
+    """
+
+    def __init__(
+        self,
+        left: TableStatistics,
+        right: TableStatistics,
+        profiles: "tuple[_SideProfile, _SideProfile]",
+    ) -> None:
+        self._join_profiles = (left.join_profile, right.join_profile)
+        if self._join_profiles[0] is None or self._join_profiles[1] is None:
+            self._vectors = None
+        else:
+            self._vectors = (
+                _project_join_vectors(profiles[0], self._join_profiles[0]),
+                _project_join_vectors(profiles[1], self._join_profiles[1]),
+            )
+
+    def __call__(
+        self, left_index: int, right_index: int
+    ) -> "tuple[float, float] | None":
+        if self._vectors is None:
+            return None
+        left_vector = self._vectors[0][left_index]
+        right_vector = self._vectors[1][right_index]
+        if left_vector is None or right_vector is None:
+            return None
+        return expected_bucket_join(
+            self._join_profiles[0], self._join_profiles[1],
+            left_vector, right_vector,
+        )
+
+    def bucket_distinct(self, side: int, index: int) -> "float | None":
+        """Distinct join values in one sim bucket — what its BFHM filter
+        actually hashes (duplicate values set the same bit)."""
+        if self._vectors is None:
+            return None
+        vector = self._vectors[side][index]
+        if vector is None:
+            return None
+        return sum(distinct for _, distinct in vector.values())
+
+    def union_join(
+        self, side: int, index: int, partners: "list[int]"
+    ) -> "tuple[float, float] | None":
+        """Expected ``(shared join values, partner-union distincts)`` of one
+        bucket against the *union* of its partner buckets.
+
+        A join value matching rows in several partner buckets intersects
+        at one filter position, and its reverse row is fetched once — so
+        reverse-row traffic must be counted against the union, not summed
+        per pair.
+        """
+        if self._vectors is None:
+            return None
+        mine = self._vectors[side][index]
+        if mine is None:
+            return None
+        union: "dict[int, float]" = {}
+        for partner in partners:
+            vector = self._vectors[1 - side][partner]
+            if vector is None:
+                return None
+            for partition, (_, distinct) in vector.items():
+                union[partition] = union.get(partition, 0.0) + distinct
+        shared = 0.0
+        union_total = 0.0
+        left_profile, right_profile = self._join_profiles
+        for partition, distinct in union.items():
+            universe = max(
+                left_profile.partition_distinct.get(partition, 1),
+                right_profile.partition_distinct.get(partition, 1),
+                1,
+            )
+            distinct = min(distinct, universe)
+            union_total += distinct
+            my_cell = mine.get(partition)
+            if my_cell is not None:
+                shared += my_cell[1] * distinct / universe
+        return shared, union_total
 
 
 # ---------------------------------------------------------------------------
@@ -440,25 +593,28 @@ class QueryPlanner:
     ) -> CostEstimate:
         """Two-phase statistical rank join (§5.2–5.3).
 
-        Phase 1 is re-enacted against the score histograms: buckets are
-        "fetched" alternately and joined via expected filter intersections
-        until the paper's termination test fires.  Phase 2 prices the
-        reverse-mapping point reads of the surviving bucket pairs.  When
-        the BFHM index is built, actual blob sizes and reverse-row
-        footprints replace the analytic estimates.
+        The whole execution loop is re-enacted symbolically against the
+        per-bucket score/cardinality profiles (the built index's actual
+        blob facts when available, re-projected statistics histograms
+        otherwise): phase 1's alternating bucket fetches, phase 2's purge
+        and re-admission, and the §5.3 repair rounds — see
+        :class:`_BFHMCascadeReplay`.  Every replayed round is priced under
+        its own cost component, so EXPLAIN shows the repair cascade's
+        incremental bucket and reverse-row traffic line by line.
         """
         ledger = self._ledger()
         model = self.platform.cost_model
         sel = _join_selectivity(left, right)
         num_buckets, m_bits, _ = self._bfhm_config(left, right)
-        # re-project the statistics histograms onto the index's actual
-        # bucket grid, so bucket numbers line up with stored blob rows
         profiles = (
-            _reproject_profile(_profile(left), num_buckets),
-            _reproject_profile(_profile(right), num_buckets),
+            _bfhm_profile(left, num_buckets),
+            _bfhm_profile(right, num_buckets),
         )
+        matcher = _JoinMatcher(left, right, profiles)
 
-        sim = _simulate_bfhm(profiles, query.function, query.k, m_bits, sel)
+        sim = _simulate_bfhm(
+            profiles, query.function, query.k, m_bits, sel, matcher
+        )
 
         index_stats = (left.index("bfhm"), right.index("bfhm"))
 
@@ -468,58 +624,100 @@ class QueryPlanner:
             ledger.server_read("meta read", meta_bytes, 3, sequential=False)
             ledger.rpc("meta read", REQUEST_OVERHEAD_BYTES, meta_bytes)
 
-        # phase 1: bucket blob fetches
-        for side in (0, 1):
-            profile = profiles[side]
+        # per-side pricing facts shared by all rounds
+        blobs_by_side = []
+        reverse_shape = []
+        for side, stats in enumerate((left, right)):
             index = index_stats[side]
-            blobs = (
+            blobs_by_side.append(
                 index.bucket_blobs
                 if isinstance(index, BFHMIndexStatistics) and index.built
                 else {}
             )
-            for bucket_index in sim.fetched[side]:
-                count = profile.counts[bucket_index]
-                bucket_number = profile.buckets[bucket_index]
-                if bucket_number in blobs:
-                    actual_count, blob_bytes = blobs[bucket_number]
-                    count = float(actual_count)
-                else:
-                    blob_bytes = _golomb_blob_bytes(count, m_bits)
-                ledger.server_read("bucket fetch", blob_bytes, 4, sequential=False)
-                ledger.rpc("bucket fetch", REQUEST_OVERHEAD_BYTES, blob_bytes)
-                ledger.cpu("blob decode", count, model.blob_decode_cpu_factor)
-
-        # phase 2: reverse-mapping point reads (multi-gets, batched per
-        # region) with slack for the recall-repair loop
-        for side, stats in enumerate((left, right)):
-            rows = sim.reverse_rows[side] * (1.0 + BFHM_REPAIR_ALLOWANCE)
-            index = index_stats[side]
-            if isinstance(index, BFHMIndexStatistics) and index.built and index.reverse_rows:
-                row_bytes = index.avg_reverse_row_bytes
-                row_cells = index.avg_reverse_row_cells
+            if (
+                isinstance(index, BFHMIndexStatistics)
+                and index.built
+                and index.reverse_rows
+            ):
+                reverse_shape.append(
+                    (index.avg_reverse_row_bytes, index.avg_reverse_row_cells)
+                )
             else:
                 row_cells = max(1.0, stats.row_count / max(1, m_bits))
-                row_bytes = row_cells * (
-                    8.0 + 16.0 + len(stats.binding.signature)
-                    + stats.avg_row_key_bytes + stats.avg_join_value_bytes + 8.0
+                reverse_shape.append((
+                    row_cells * (
+                        8.0 + 16.0 + len(stats.binding.signature)
+                        + stats.avg_row_key_bytes + stats.avg_join_value_bytes + 8.0
+                    ),
+                    row_cells,
+                ))
+
+        # replayed rounds: round 0 is phase 1 + the initial phase 2; every
+        # later round charges its incremental §5.3 repair traffic under a
+        # per-round component, visible in the EXPLAIN breakdown
+        for entry in sim.rounds:
+            if entry.round == 0:
+                bucket_label, decode_label, reverse_label = (
+                    "bucket fetch", "blob decode", "reverse fetch"
                 )
-            total_bytes = rows * row_bytes
-            ledger.server_read_rows(
-                "reverse fetch", rows, total_bytes, rows * row_cells
-            )
-            rpcs = min(int(math.ceil(rows)), model.worker_nodes) if rows else 0
-            for _ in range(rpcs):
-                ledger.rpc(
-                    "reverse fetch",
-                    REQUEST_OVERHEAD_BYTES,
-                    total_bytes / max(1, rpcs),
+            else:
+                bucket_label = decode_label = reverse_label = (
+                    f"repair r{entry.round}"
                 )
+            for side in (0, 1):
+                profile = profiles[side]
+                blobs = blobs_by_side[side]
+                for bucket_index in entry.fetched[side]:
+                    count = profile.counts[bucket_index]
+                    bucket_number = profile.buckets[bucket_index]
+                    if bucket_number in blobs:
+                        actual_count, blob_bytes = blobs[bucket_number]
+                        count = float(actual_count)
+                    else:
+                        blob_bytes = _golomb_blob_bytes(count, m_bits)
+                    ledger.server_read(bucket_label, blob_bytes, 4, sequential=False)
+                    ledger.rpc(bucket_label, REQUEST_OVERHEAD_BYTES, blob_bytes)
+                    ledger.cpu(decode_label, count, model.blob_decode_cpu_factor)
+
+                # reverse-mapping point reads (multi-gets batched per region)
+                rows = entry.reverse_rows[side]
+                if not rows:
+                    continue
+                row_bytes, row_cells = reverse_shape[side]
+                total_bytes = rows * row_bytes
+                ledger.server_read_rows(
+                    reverse_label, rows, total_bytes, rows * row_cells
+                )
+                rpcs = min(int(math.ceil(rows)), model.worker_nodes)
+                for _ in range(rpcs):
+                    ledger.rpc(
+                        reverse_label,
+                        REQUEST_OVERHEAD_BYTES,
+                        total_bytes / max(1, rpcs),
+                    )
 
         notes = [
             f"est. {sim.buckets_fetched} bucket fetches, "
             f"{int(sim.reverse_rows[0] + sim.reverse_rows[1])} reverse rows",
-            self._index_note(left, "bfhm"),
         ]
+        if sim.repair_rounds:
+            repair_rows = sum(
+                entry.reverse_rows[0] + entry.reverse_rows[1]
+                for entry in sim.rounds
+                if entry.round > 0
+            )
+            repair_buckets = sum(
+                len(entry.fetched[0]) + len(entry.fetched[1])
+                for entry in sim.rounds
+                if entry.round > 0
+            )
+            notes.append(
+                f"repair cascade: {sim.repair_rounds} rounds re-admitting "
+                f"{int(round(sim.readmitted_pairs))} pairs "
+                f"(+{repair_buckets} buckets, +{int(round(repair_rows))} "
+                "reverse rows)"
+            )
+        notes.append(self._index_note(left, "bfhm"))
         return CostEstimate.from_ledger("BFHM", ledger, notes)
 
     # -- IJLMR -------------------------------------------------------------------
@@ -856,144 +1054,257 @@ def _simulate_hrjn(
 
 
 @dataclass
+class _SimPair:
+    """One estimated bucket-pair join of the symbolic replay (in
+    expectation what one :class:`EstimatedResult` is in execution)."""
+
+    weight: float       # expected estimated tuples (incl. false positives)
+    true_weight: float  # expected actual join results
+    min_score: float
+    max_score: float
+    common: float       # expected common bit positions
+    left_index: int
+    right_index: int
+
+
+@dataclass
+class _SimRepairRound:
+    """One replayed cascade round (round 0 = initial phase 1 + phase 2)."""
+
+    round: int
+    #: profile indexes of buckets fetched during this round, per side
+    fetched: "tuple[list[int], list[int]]"
+    #: incremental reverse rows the cache fetches this round, per side
+    reverse_rows: "tuple[float, float]"
+    #: estimated pairs re-admitted past the purge bound this round
+    readmitted: float
+    #: expected exact results after the round's phase 2
+    actual_results: float
+
+
+@dataclass
 class _BFHMSimulation:
-    """Outcome of the analytic phase-1/phase-2 re-enactment."""
+    """Outcome of the symbolic phase-1 / phase-2 / §5.3 re-enactment."""
 
     fetched: "tuple[list[int], list[int]]"
     buckets_fetched: int
     reverse_rows: "tuple[float, float]"
+    rounds: "list[_SimRepairRound]"
+    purge_bound: "float | None"
+
+    @property
+    def repair_rounds(self) -> int:
+        return max(0, len(self.rounds) - 1)
+
+    @property
+    def readmitted_pairs(self) -> float:
+        return sum(entry.readmitted for entry in self.rounds)
 
 
-def _simulate_bfhm(
-    profiles: "tuple[_SideProfile, _SideProfile]",
-    function: AggregateFunction,
-    k: int,
-    m_bits: int,
-    selectivity: float,
-) -> _BFHMSimulation:
-    """Expected bucket fetches and reverse-row reads of a BFHM run.
+class _BFHMCascadeReplay:
+    """Symbolic re-enactment of the complete BFHM execution loop.
 
-    Re-enacts Algorithms 6/7 with expectations in place of filters: each
-    bucket pair contributes its expected filter intersection (true matches
-    plus false-positive bit overlaps), and the CONSERVATIVE termination
-    bound is evaluated exactly as the estimator would.
+    Mirrors :meth:`repro.core.bfhm.algorithm.BFHMRankJoin._run` with
+    expectations in place of filters, step for step:
+
+    * **phase 1** — alternating bucket fetches joined via expected filter
+      intersections, gated by the CONSERVATIVE termination test;
+    * **phase 2** — the §5.2 purge at the k-th estimated min-score, then
+      the re-admission loop: excluded pairs whose max score could still
+      beat the k-th *actual* result rejoin the candidate set;
+    * **§5.3 repair rounds** — while some unfetched bucket could beat the
+      k-th actual score, the violating sides are force-advanced; while
+      fewer than k results exist, estimation resumes at ``k + (k - k')``
+      (forcing *both* sides when estimation thinks it is done);
+    * **reverse-mapping cache** — rows are fetched at most once, so each
+      round contributes only its incremental reverse-row traffic.
+
+    Each bucket pair contributes its expected intersection: the real
+    estimator appends a result per *intersecting* pair and counts
+    ``max(1, round(cardinality))`` estimated tuples for it; in expectation
+    that is ``P(intersect) * max(1, E[card | intersect])``, which
+    ``max(P(intersect), E[card])`` approximates from expectations alone
+    (they agree in both the sparse and the dense regime).
     """
-    fetched: tuple[list[int], list[int]] = ([], [])
-    nxt = [0, 0]
-    # results: (weight, min_score, max_score, common, left_idx, right_idx)
-    results: "list[tuple[float, float, float, float, int, int]]" = []
-    total_cardinality = 0.0
 
-    def pair(left_index: int, right_index: int) -> "tuple[float, float] | None":
-        """Expected (estimated-tuple weight, common bit positions) of one
-        bucket join.
+    #: hard stop for the symbolic loop — execution converges on the finite
+    #: bucket set, but fractional expectations could plateau just below k
+    MAX_ROUNDS = 32
 
-        The real estimator appends a result per *intersecting* pair and
-        counts ``max(1, round(cardinality))`` estimated tuples for it; in
-        expectation that is ``P(intersect) * max(1, E[card | intersect])``,
-        which ``max(P(intersect), E[card])`` approximates from expectations
-        alone (they agree in both the sparse and the dense regime).
-        """
-        c_l = profiles[0].counts[left_index]
-        c_r = profiles[1].counts[right_index]
-        true_common = min(selectivity * c_l * c_r, min(c_l, c_r))
-        p_l = 1.0 - math.exp(-c_l / m_bits)
-        p_r = 1.0 - math.exp(-c_r / m_bits)
-        fp_common = max(0.0, m_bits * p_l * p_r - true_common)
+    def __init__(
+        self,
+        profiles: "tuple[_SideProfile, _SideProfile]",
+        function: AggregateFunction,
+        k: int,
+        m_bits: int,
+        selectivity: float,
+        matcher: "_JoinMatcher | None" = None,
+    ) -> None:
+        self.profiles = profiles
+        self.function = function
+        self.k = k
+        self.m_bits = m_bits
+        self.selectivity = selectivity
+        self.matcher = matcher
+        self.nxt = [0, 0]
+        self.fetched: "tuple[list[int], list[int]]" = ([], [])
+        self.pairs: "list[_SimPair]" = []
+        self.total_weight = 0.0
+        #: replayed reverse-mapping cache: bucket index -> rows fetched
+        self._rows_cached: "tuple[dict[int, float], dict[int, float]]" = ({}, {})
+
+    # -- phase 1 (Algorithms 6/7 in expectation) ---------------------------
+
+    def _pair(self, left_index: int, right_index: int) -> "_SimPair | None":
+        c_l = self.profiles[0].counts[left_index]
+        c_r = self.profiles[1].counts[right_index]
+        matched = self.matcher(left_index, right_index) if self.matcher else None
+        if matched is None:
+            # uniform fallback: every tuple pair joins with P = selectivity
+            pair_matches = self.selectivity * c_l * c_r
+            shared_values = pair_matches
+        else:
+            pair_matches, shared_values = matched
+        pair_matches = min(pair_matches, c_l * c_r)
+        # the filters hash distinct join values (duplicates set the same
+        # bit), so false-positive overlap scales with distincts, not counts
+        d_l = d_r = None
+        if self.matcher is not None:
+            d_l = self.matcher.bucket_distinct(0, left_index)
+            d_r = self.matcher.bucket_distinct(1, right_index)
+        d_l = c_l if d_l is None else min(d_l, c_l)
+        d_r = c_r if d_r is None else min(d_r, c_r)
+        # distinct shared join values are what both filters set bits for
+        true_common = min(shared_values, d_l, d_r)
+        p_l = 1.0 - math.exp(-d_l / self.m_bits)
+        p_r = 1.0 - math.exp(-d_r / self.m_bits)
+        fp_common = max(0.0, self.m_bits * p_l * p_r - true_common)
         common = true_common + fp_common
         if common < 1e-6:
             return None
         p_intersect = 1.0 - math.exp(-common)
-        weight = max(p_intersect, selectivity * c_l * c_r + fp_common)
-        return weight, common
+        weight = max(p_intersect, pair_matches + fp_common)
+        return _SimPair(
+            weight=weight,
+            true_weight=pair_matches,
+            min_score=self.function(
+                self.profiles[0].mins[left_index], self.profiles[1].mins[right_index]
+            ),
+            max_score=self.function(
+                self.profiles[0].maxes[left_index], self.profiles[1].maxes[right_index]
+            ),
+            common=common,
+            left_index=left_index,
+            right_index=right_index,
+        )
 
-    def advance(side: int) -> bool:
-        nonlocal total_cardinality
-        if nxt[side] >= len(profiles[side].counts):
+    def side_exhausted(self, side: int) -> bool:
+        return self.nxt[side] >= len(self.profiles[side].counts)
+
+    def advance(self, side: int) -> bool:
+        """Fetch + join one bucket from ``side``; False if exhausted."""
+        if self.side_exhausted(side):
             return False
-        index = nxt[side]
-        nxt[side] += 1
-        fetched[side].append(index)
-        for other_index in fetched[1 - side]:
+        index = self.nxt[side]
+        self.nxt[side] += 1
+        self.fetched[side].append(index)
+        for other_index in self.fetched[1 - side]:
             left_index = index if side == 0 else other_index
             right_index = other_index if side == 0 else index
-            joined = pair(left_index, right_index)
-            if joined is None:
+            pair = self._pair(left_index, right_index)
+            if pair is None:
                 continue
-            weight, common = joined
-            results.append((
-                weight,
-                function(profiles[0].mins[left_index], profiles[1].mins[right_index]),
-                function(profiles[0].maxes[left_index], profiles[1].maxes[right_index]),
-                common,
-                left_index,
-                right_index,
-            ))
-            total_cardinality += weight
+            self.pairs.append(pair)
+            self.total_weight += pair.weight
         return True
 
-    def kth_bound() -> "float | None":
-        ordered = sorted(results, key=lambda r: -r[1])
+    def kth_bound(self, k: "float | None" = None) -> "float | None":
+        """CONSERVATIVE bound: k-th estimated tuple by min score.
+
+        Defaults to the query's k (the §5.2 purge bound); repair rounds
+        pass their expanded ``k + (k - k')`` rank, exactly as the real
+        estimator's termination test does.
+        """
+        if k is None:
+            k = self.k
+        ordered = sorted(self.pairs, key=lambda pair: -pair.min_score)
         accumulated = 0.0
-        for weight, min_score, _, _, _, _ in ordered:
-            accumulated += weight
+        for pair in ordered:
+            accumulated += pair.weight
             if accumulated >= k:
-                return min_score
+                return pair.min_score
         return None
 
-    def unexamined_best(side: int) -> "float | None":
-        if nxt[side] >= len(profiles[side].counts):
+    def unexamined_best(self, side: int) -> "float | None":
+        if self.side_exhausted(side):
             return None
-        other = profiles[1 - side]
+        other = self.profiles[1 - side]
         if not other.counts:
             return None
-        mine = profiles[side].upper_boundary(nxt[side])
+        mine = self.profiles[side].upper_boundary(self.nxt[side])
         theirs = other.upper_boundary(0)
-        return function(mine, theirs) if side == 0 else function(theirs, mine)
+        return self.function(mine, theirs) if side == 0 else self.function(theirs, mine)
 
-    def should_terminate() -> bool:
-        if total_cardinality < k:
+    def _should_terminate(self, k: float) -> bool:
+        if self.total_weight < k:
             return False
-        bound = kth_bound()
+        bound = self.kth_bound(k)
         if bound is None:
             return False
         for side in (0, 1):
-            best = unexamined_best(side)
+            best = self.unexamined_best(side)
             if best is not None and best > bound + 1e-12:
                 return False
         return True
 
-    side = 0
-    while not should_terminate():
-        if nxt[0] >= len(profiles[0].counts) and nxt[1] >= len(profiles[1].counts):
-            break
-        if nxt[side] >= len(profiles[side].counts):
+    def run_until(self, k: float) -> None:
+        side = 0
+        while not self._should_terminate(k):
+            if self.side_exhausted(0) and self.side_exhausted(1):
+                break
+            if self.side_exhausted(side):
+                side = 1 - side
+            self.advance(side)
             side = 1 - side
-        advance(side)
-        side = 1 - side
 
-    # phase 2: the §5.3 repair loop converges on the k-th *actual* result
-    # score — every fetched pair whose max score could still beat it ends
-    # up reverse-mapped.  Estimate that score from the true-match weights
-    # (midpoint scores, no false positives), then count the reverse rows
-    # of the surviving pairs (deduplicated per bucket — a bucket cannot
-    # yield more reverse rows than it has tuples).
-    def kth_actual_score() -> "float | None":
-        """Solve for the score t with k expected true results above it.
+    # -- phase 2 (purge + re-admission, in expectation) --------------------
+
+    def _true_count(self, included: "set[int]") -> float:
+        return sum(self.pairs[index].true_weight for index in included)
+
+    #: shortfall tolerance of the k-reached test, in Poisson standard
+    #: deviations: execution branches on the *realized* count, the replay
+    #: on its expectation — a hard ``>= k`` cliffs into wholesale
+    #: re-admission on a fractional shortfall a real run would rarely see,
+    #: while a full sigma of slack misses the genuine shortfalls that do
+    #: trigger the cascade (calibrated on the Fig. 7/8 repair cells, where
+    #: executions reach k at z >= -0.75 and fall short at z <= -0.94)
+    REACHED_K_SLACK_SIGMA = 0.85
+
+    def _reached_k(self, n_actual: float, k: int) -> bool:
+        """Did the run (probably) materialize k results?"""
+        slack = self.REACHED_K_SLACK_SIGMA * math.sqrt(max(n_actual, 1.0))
+        return n_actual - k >= -slack
+
+    def _kth_effective(self, n_actual: float, k: int) -> float:
+        """Rank to solve the k-th actual score at — capped by the expected
+        count so a near-k expectation yields the bottom-of-set score the
+        execution would gate on, not a None."""
+        return min(float(k), n_actual)
+
+    def _kth_actual(self, included: "set[int]", k: float) -> "float | None":
+        """Solve for the score t with k expected true results above it
+        among the included pairs.
 
         Each pair's expected true matches are smeared uniformly over the
         pair's attainable score range — bucket midpoints would
         systematically overestimate under skewed score distributions.
         """
-        spans = []
-        for _, min_score, max_score, _, left_index, right_index in results:
-            true_weight = (
-                selectivity
-                * profiles[0].counts[left_index]
-                * profiles[1].counts[right_index]
-            )
-            if true_weight > 0:
-                spans.append((min_score, max_score, true_weight))
+        spans = [
+            (self.pairs[i].min_score, self.pairs[i].max_score, self.pairs[i].true_weight)
+            for i in included
+            if self.pairs[i].true_weight > 0
+        ]
         if not spans:
             return None
 
@@ -1008,10 +1319,9 @@ def _simulate_bfhm(
                     total += weight * (hi - t) / (hi - lo)
             return total
 
-        hi_bound = max(hi for _, hi, _ in spans)
         if above(0.0) < k:
             return None
-        lo_t, hi_t = 0.0, hi_bound
+        lo_t, hi_t = 0.0, max(hi for _, hi, _ in spans)
         for _ in range(40):
             mid_t = (lo_t + hi_t) / 2
             if above(mid_t) >= k:
@@ -1020,34 +1330,181 @@ def _simulate_bfhm(
                 hi_t = mid_t
         return lo_t
 
-    bound = kth_actual_score()
-    # when the estimated purge bound overshoots the true k-th score (the
-    # cardinality overcount of sparse bucket joins), the first purge drops
-    # real results, the repair loop re-admits excluded pairs wholesale,
-    # and essentially every fetched pair gets materialized
-    purge_bound = kth_bound()
-    if (
-        bound is not None
-        and purge_bound is not None
-        and purge_bound > bound + 1e-12
-    ):
-        bound = None
-    per_bucket: "tuple[dict[int, float], dict[int, float]]" = ({}, {})
-    for weight, min_score, max_score, common, left_index, right_index in results:
-        if bound is not None and max_score < bound - 1e-12:
-            continue
-        per_bucket[0][left_index] = per_bucket[0].get(left_index, 0.0) + common
-        per_bucket[1][right_index] = per_bucket[1].get(right_index, 0.0) + common
-    reverse = [0.0, 0.0]
-    for side in (0, 1):
-        for index, positions in per_bucket[side].items():
-            reverse[side] += min(positions, profiles[side].counts[index])
+    def phase2(self, k: int) -> "tuple[set[int], float | None, float]":
+        """Replay one full phase-2 pass: (included pairs, purge bound,
+        pairs re-admitted past the bound)."""
+        bound = self.kth_bound()
+        if bound is None:
+            included = set(range(len(self.pairs)))
+        else:
+            included = {
+                index
+                for index, pair in enumerate(self.pairs)
+                if pair.max_score >= bound - 1e-12
+            }
+        readmitted = 0.0
+        while True:
+            excluded = set(range(len(self.pairs))) - included
+            if not excluded:
+                break
+            n_actual = self._true_count(included)
+            if self._reached_k(n_actual, k):
+                kth = self._kth_actual(
+                    included, self._kth_effective(n_actual, k)
+                )
+                extra = {
+                    index
+                    for index in excluded
+                    if kth is None or self.pairs[index].max_score >= kth - 1e-12
+                }
+            else:
+                extra = excluded  # not enough results: nothing may be purged
+            if not extra:
+                break
+            included |= extra
+            readmitted += len(extra)
+        return included, bound, readmitted
 
-    return _BFHMSimulation(
-        fetched=fetched,
-        buckets_fetched=len(fetched[0]) + len(fetched[1]),
-        reverse_rows=(reverse[0], reverse[1]),
-    )
+    def commit_reverse_rows(self, included: "set[int]") -> "tuple[float, float]":
+        """Incremental reverse rows the cache fetches for ``included``.
+
+        Positions are counted per bucket against the *union* of its
+        partner buckets (a value matching several partners still occupies
+        one position and one reverse row), capped by the bucket's distinct
+        join values; rows fetched by earlier rounds are never re-fetched.
+        """
+        delta = [0.0, 0.0]
+        for side in (0, 1):
+            # this side's included buckets with their partner buckets
+            partners: "dict[int, list[int]]" = {}
+            pair_common: "dict[int, float]" = {}
+            for index in included:
+                pair = self.pairs[index]
+                mine = pair.left_index if side == 0 else pair.right_index
+                other = pair.right_index if side == 0 else pair.left_index
+                partners.setdefault(mine, []).append(other)
+                pair_common[mine] = pair_common.get(mine, 0.0) + pair.common
+            cached = self._rows_cached[side]
+            for index, partner_list in partners.items():
+                cap = self.profiles[side].counts[index]
+                joined = (
+                    self.matcher.union_join(side, index, partner_list)
+                    if self.matcher is not None
+                    else None
+                )
+                if joined is None:
+                    # fallback: per-pair commons summed (over-counts values
+                    # matched by several partners)
+                    positions = pair_common[index]
+                else:
+                    shared, union_total = joined
+                    d_mine = self.matcher.bucket_distinct(side, index)
+                    d_mine = cap if d_mine is None else min(d_mine, cap)
+                    cap = min(cap, d_mine)
+                    p_mine = 1.0 - math.exp(-d_mine / self.m_bits)
+                    p_union = 1.0 - math.exp(-union_total / self.m_bits)
+                    false_positions = max(
+                        0.0, self.m_bits * p_mine * p_union - shared
+                    )
+                    positions = shared + false_positions
+                target = min(positions, cap)
+                have = cached.get(index, 0.0)
+                if target > have:
+                    delta[side] += target - have
+                    cached[index] = target
+        return (delta[0], delta[1])
+
+    # -- the full loop (BFHMRankJoin._run in expectation) ------------------
+
+    def run(self) -> _BFHMSimulation:
+        k = self.k
+        rounds: "list[_SimRepairRound]" = []
+        fetch_mark = [0, 0]
+
+        def new_fetches() -> "tuple[list[int], list[int]]":
+            out: "tuple[list[int], list[int]]" = ([], [])
+            for side in (0, 1):
+                out[side].extend(self.fetched[side][fetch_mark[side]:])
+                fetch_mark[side] = len(self.fetched[side])
+            return out
+
+        self.run_until(k)
+        included, purge_bound, readmitted = self.phase2(k)
+        n_actual = self._true_count(included)
+        rounds.append(_SimRepairRound(
+            round=0,
+            fetched=new_fetches(),
+            reverse_rows=self.commit_reverse_rows(included),
+            readmitted=readmitted,
+            actual_results=n_actual,
+        ))
+
+        while len(rounds) - 1 < self.MAX_ROUNDS:
+            if self._reached_k(n_actual, k):
+                kth = self._kth_actual(
+                    included, self._kth_effective(n_actual, k)
+                )
+                violating = [
+                    side
+                    for side in (0, 1)
+                    if kth is not None
+                    and (best := self.unexamined_best(side)) is not None
+                    and best > kth + 1e-12
+                ]
+                if not violating:
+                    break
+                progressed = False
+                for side in violating:
+                    progressed = self.advance(side) or progressed
+                if not progressed:
+                    break
+            else:
+                if self.side_exhausted(0) and self.side_exhausted(1):
+                    break
+                before = len(self.fetched[0]) + len(self.fetched[1])
+                self.run_until(k + (k - n_actual))
+                if len(self.fetched[0]) + len(self.fetched[1]) == before:
+                    # estimation thinks it is done; force both sides, as
+                    # the execution loop does
+                    progressed = self.advance(0)
+                    progressed = self.advance(1) or progressed
+                    if not progressed:
+                        break
+            included, _, readmitted = self.phase2(k)
+            n_actual = self._true_count(included)
+            rounds.append(_SimRepairRound(
+                round=len(rounds),
+                fetched=new_fetches(),
+                reverse_rows=self.commit_reverse_rows(included),
+                readmitted=readmitted,
+                actual_results=n_actual,
+            ))
+
+        return _BFHMSimulation(
+            fetched=self.fetched,
+            buckets_fetched=len(self.fetched[0]) + len(self.fetched[1]),
+            reverse_rows=(
+                sum(entry.reverse_rows[0] for entry in rounds),
+                sum(entry.reverse_rows[1] for entry in rounds),
+            ),
+            rounds=rounds,
+            purge_bound=purge_bound,
+        )
+
+
+def _simulate_bfhm(
+    profiles: "tuple[_SideProfile, _SideProfile]",
+    function: AggregateFunction,
+    k: int,
+    m_bits: int,
+    selectivity: float,
+    matcher: "_JoinMatcher | None" = None,
+) -> _BFHMSimulation:
+    """Expected bucket fetches, reverse-row reads, and §5.3 repair rounds
+    of a BFHM run (see :class:`_BFHMCascadeReplay`)."""
+    return _BFHMCascadeReplay(
+        profiles, function, k, m_bits, selectivity, matcher
+    ).run()
 
 
 def _golomb_blob_bytes(count: float, m_bits: int) -> float:

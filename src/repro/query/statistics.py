@@ -25,11 +25,20 @@ from repro.core.indexes import BFHM_TABLE, DRJN_TABLE, IJLMR_TABLE, ISL_TABLE
 from repro.errors import PlanningError
 from repro.platform import Platform
 from repro.relational.binding import RelationBinding, load_relation
-from repro.sketches.histogram import EquiWidthHistogram
+from repro.sketches.hashing import hash_to_range
+from repro.sketches.histogram import EquiWidthHistogram, score_to_bucket
 
 #: histogram resolution used for planning (matches the BFHM default, so a
 #: built BFHM index and the planner agree on bucket boundaries)
 PLANNER_NUM_BUCKETS = 100
+#: join-partition resolution of the 2-D join profile (the DRJN matrix idea
+#: applied to planning).  Partitions must be fine relative to the distinct
+#: join values — keys sharing a partition average away the score-correlated
+#: join skew (§5.3's repair driver) the profile exists to expose, halving
+#: the diagonal mass and smearing it onto phantom bucket pairs; at ~1 key
+#: per partition the cell products recover the per-key coupling while join
+#: values themselves never leave the sketch (cells store counts only).
+PLANNER_JOIN_PARTITIONS = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,10 @@ class BFHMIndexStatistics(IndexStatistics):
     num_buckets: int = PLANNER_NUM_BUCKETS
     #: bucket number -> (tuple count, blob row bytes), descending score order
     bucket_blobs: "dict[int, tuple[int, int]]" = field(default_factory=dict)
+    #: bucket number -> (actual min score, actual max score) as stored in
+    #: the blob rows — the exact per-bucket score profile the BFHM
+    #: coordinator sees, which the planner's cascade replay re-enacts
+    bucket_scores: "dict[int, tuple[float, float]]" = field(default_factory=dict)
     reverse_rows: int = 0
     reverse_cells: int = 0
     reverse_bytes: int = 0
@@ -73,6 +86,88 @@ class BFHMIndexStatistics(IndexStatistics):
     @property
     def avg_reverse_row_cells(self) -> float:
         return self.reverse_cells / self.reverse_rows if self.reverse_rows else 1.0
+
+    def bucket_profile(self) -> "list[tuple[int, int, float, float]]":
+        """Per-bucket ``(bucket number, count, min score, max score)`` in
+        descending score order (= ascending bucket number), for every
+        non-empty bucket whose score bounds are known.
+
+        This is the cardinality/score profile the planner's symbolic
+        phase-1/phase-2 replay runs against when the index is built — the
+        same facts the coordinator reads from blob rows at query time.
+        """
+        profile = []
+        for bucket in sorted(self.bucket_blobs):
+            count, _ = self.bucket_blobs[bucket]
+            if count <= 0 or bucket not in self.bucket_scores:
+                continue
+            low, high = self.bucket_scores[bucket]
+            profile.append((bucket, count, low, high))
+        return profile
+
+
+@dataclass(frozen=True)
+class JoinProfile:
+    """2-D (score bucket × join partition) profile of one relation.
+
+    The DRJN matrix idea (§2, §7.1) applied to planner statistics: join
+    values are hash-partitioned, scores are equi-width bucketed, and each
+    cell remembers how many tuples — and how many *distinct* join values —
+    landed there.  Joining two relations' profiles cell-by-cell yields
+    per-bucket-pair match expectations that capture score-correlated join
+    skew (e.g. high-price orders joining more lineitems), which a single
+    uniform selectivity constant cannot.
+    """
+
+    num_buckets: int
+    num_partitions: int
+    #: score bucket -> {join partition -> (tuple count, distinct join values)}
+    cells: "dict[int, dict[int, tuple[int, int]]]"
+    #: join partition -> distinct join values across the whole relation
+    partition_distinct: "dict[int, int]"
+
+    def bucket_vector(self, bucket: int) -> "dict[int, tuple[int, int]] | None":
+        """Partition vector of one score bucket (None when empty)."""
+        return self.cells.get(bucket)
+
+
+def expected_bucket_join(
+    left: "JoinProfile",
+    right: "JoinProfile",
+    left_vector: "dict[int, tuple[float, float]]",
+    right_vector: "dict[int, tuple[float, float]]",
+) -> "tuple[float, float]":
+    """Expected ``(tuple-pair matches, distinct shared join values)`` of
+    joining two score buckets, given their partition vectors.
+
+    Within a partition of ``D`` distinct join values, a left cell holding
+    ``d_l`` distinct values and a right cell holding ``d_r`` shares
+    ``d_l * d_r / D`` values in expectation (uniform placement within the
+    partition); tuple pairs scale by counts instead.  Distinct shared
+    values is what BFHM's filter intersections — and therefore its
+    reverse-row traffic — are made of; tuple pairs is what phase 2
+    materializes.
+    """
+    pairs = 0.0
+    shared_values = 0.0
+    small, large = (
+        (left_vector, right_vector)
+        if len(left_vector) <= len(right_vector)
+        else (right_vector, left_vector)
+    )
+    for partition, (count_s, distinct_s) in small.items():
+        other = large.get(partition)
+        if other is None:
+            continue
+        count_o, distinct_o = other
+        universe = max(
+            left.partition_distinct.get(partition, 1),
+            right.partition_distinct.get(partition, 1),
+            1,
+        )
+        pairs += count_s * count_o / universe
+        shared_values += distinct_s * distinct_o / universe
+    return pairs, shared_values
 
 
 @dataclass(frozen=True)
@@ -87,6 +182,7 @@ class TableStatistics:
     avg_join_value_bytes: float
     avg_row_key_bytes: float
     histogram: EquiWidthHistogram
+    join_profile: "JoinProfile | None" = None
     indexes: "dict[str, IndexStatistics]" = field(default_factory=dict)
 
     @property
@@ -150,8 +246,8 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
     family = families[0]
     # decode the meta row straight off the backing table (read_meta would
     # go through the metered client and bill the statistics pass)
-    from repro.common.serialization import decode_str
-    from repro.core.bfhm.bucket import META_ROW, Q_M_BITS, Q_NUM_BUCKETS
+    from repro.common.serialization import decode_float, decode_str
+    from repro.core.bfhm.bucket import META_ROW, Q_M_BITS, Q_MAX, Q_MIN, Q_NUM_BUCKETS
 
     meta_row = table.read_row(META_ROW, families={family})
     num_buckets_raw = meta_row.value(family, Q_NUM_BUCKETS)
@@ -162,6 +258,7 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
     meta_m_bits = int(decode_str(m_bits_raw))
     # one unmetered pass over the family: blob rows vs reverse rows
     bucket_blobs: dict[int, tuple[int, int]] = {}
+    bucket_scores: dict[int, tuple[float, float]] = {}
     reverse_rows = reverse_cells = reverse_bytes = 0
     rows = cells = total = 0
     for row in table.all_rows(families={family}):
@@ -174,7 +271,12 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
         if row.row.startswith("B") and row.value(family, Q_BLOB) is not None:
             count_raw = row.value(family, Q_COUNT)
             count = int(decode_str(count_raw)) if count_raw is not None else 0
-            bucket_blobs[int(row.row[1:])] = (count, size)
+            bucket = int(row.row[1:])
+            bucket_blobs[bucket] = (count, size)
+            min_raw = row.value(family, Q_MIN)
+            max_raw = row.value(family, Q_MAX)
+            if min_raw is not None and max_raw is not None:
+                bucket_scores[bucket] = (decode_float(min_raw), decode_float(max_raw))
         elif row.row.startswith("R"):
             reverse_rows += 1
             reverse_cells += len(row)
@@ -188,6 +290,7 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
         m_bits=meta_m_bits,
         num_buckets=meta_num_buckets,
         bucket_blobs=bucket_blobs,
+        bucket_scores=bucket_scores,
         reverse_rows=reverse_rows,
         reverse_cells=reverse_cells,
         reverse_bytes=reverse_bytes,
@@ -214,13 +317,44 @@ def gather_statistics(
     join_values: set[str] = set()
     join_bytes = 0
     key_bytes = 0
+    # 2-D join profile accumulators: (bucket, partition) -> count/value set
+    profile_cells: "dict[int, dict[int, list]]" = {}
     for scored in rows:
         # the paper's score domain is [0, 1]; clamp so planning never
         # crashes on a denormalized outlier
-        histogram.add(min(max(scored.score, 0.0), 1.0))
+        score = min(max(scored.score, 0.0), 1.0)
+        histogram.add(score)
         join_values.add(scored.join_value)
         join_bytes += len(scored.join_value.encode("utf-8"))
         key_bytes += len(scored.row_key.encode("utf-8"))
+        bucket = score_to_bucket(score, num_buckets)
+        partition = hash_to_range(scored.join_value, PLANNER_JOIN_PARTITIONS)
+        cell = profile_cells.setdefault(bucket, {}).setdefault(
+            partition, [0, set()]
+        )
+        cell[0] += 1
+        cell[1].add(scored.join_value)
+    # per-partition distinct values: union of the cell value sets (each
+    # value hashes to exactly one partition)
+    partition_values: "dict[int, set[str]]" = {}
+    for vector in profile_cells.values():
+        for partition, (_, values) in vector.items():
+            partition_values.setdefault(partition, set()).update(values)
+    join_profile = JoinProfile(
+        num_buckets=num_buckets,
+        num_partitions=PLANNER_JOIN_PARTITIONS,
+        cells={
+            bucket: {
+                partition: (count, len(values))
+                for partition, (count, values) in vector.items()
+            }
+            for bucket, vector in profile_cells.items()
+        },
+        partition_distinct={
+            partition: len(values)
+            for partition, values in partition_values.items()
+        },
+    )
 
     backing = platform.store.backing(binding.table)
     total_cells = 0
@@ -247,6 +381,7 @@ def gather_statistics(
         avg_join_value_bytes=join_bytes / len(rows),
         avg_row_key_bytes=key_bytes / len(rows),
         histogram=histogram,
+        join_profile=join_profile,
         indexes=indexes,
     )
 

@@ -238,7 +238,7 @@ class HTable:
         """
         results: list[RowResult] = []
         regions_touched = set()
-        request_bytes = REQUEST_OVERHEAD_BYTES
+        request_bytes = 0
         response_bytes = 0
         for get in gets:
             region = self.table.region_for(get.row)
@@ -252,6 +252,8 @@ class HTable:
             results.append(result)
         if gets:
             model = self.ctx.cost_model
+            # one RPC per region touched, so one request header each
+            request_bytes += REQUEST_OVERHEAD_BYTES * len(regions_touched)
             total = request_bytes + response_bytes
             self.ctx.metrics.add_network(total)
             self.ctx.metrics.advance_time(

@@ -80,6 +80,34 @@ class TestStatistics:
         assert bfhm.bucket_blobs  # per-bucket (count, bytes) facts
         assert bfhm.reverse_rows > 0
 
+    def test_gather_captures_bucket_score_profile(self, shared_setup):
+        """The cascade replay runs against actual per-bucket facts."""
+        stats = gather_statistics(shared_setup.platform, q1(1).left)
+        bfhm = stats.index("bfhm")
+        assert bfhm.bucket_scores.keys() == bfhm.bucket_blobs.keys()
+        profile = bfhm.bucket_profile()
+        assert profile
+        buckets = [bucket for bucket, _, _, _ in profile]
+        assert buckets == sorted(buckets)  # descending score order
+        assert sum(count for _, count, _, _ in profile) == stats.row_count
+        for _, _, low, high in profile:
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_gather_captures_join_profile(self, shared_setup):
+        """The 2-D (score bucket × join partition) profile is mass- and
+        distinct-preserving."""
+        stats = gather_statistics(shared_setup.platform, q1(1).left)
+        profile = stats.join_profile
+        assert profile is not None
+        total = sum(
+            count
+            for vector in profile.cells.values()
+            for count, _ in vector.values()
+        )
+        assert total == stats.row_count
+        assert (sum(profile.partition_distinct.values())
+                >= stats.distinct_join_values)
+
     def test_gather_on_unindexed_relation(self, tiny_engine):
         stats = gather_statistics(tiny_engine.platform, q1(1).left)
         for kind in ("ijlmr", "isl", "bfhm", "drjn"):
@@ -167,6 +195,23 @@ class TestSimulations:
         large = _simulate_bfhm(profiles, q1(1).function, 50, 1000, sel)
         assert large.buckets_fetched > small.buckets_fetched
         assert sum(large.reverse_rows) > sum(small.reverse_rows)
+
+    def test_bfhm_simulation_replays_rounds(self, shared_setup):
+        """The symbolic cascade reports per-round fetch/row increments
+        that sum to the run totals."""
+        profiles, sel = self._profiles(shared_setup, q2(1))
+        sim = _simulate_bfhm(profiles, q2(1).function, 20, 1000, sel)
+        assert sim.rounds and sim.rounds[0].round == 0
+        assert sim.repair_rounds == len(sim.rounds) - 1
+        assert sim.buckets_fetched == sum(
+            len(entry.fetched[0]) + len(entry.fetched[1])
+            for entry in sim.rounds
+        )
+        for side in (0, 1):
+            assert sim.reverse_rows[side] == pytest.approx(
+                sum(entry.reverse_rows[side] for entry in sim.rounds)
+            )
+        assert sim.purge_bound is None or sim.purge_bound > 0.0
 
     def test_golomb_estimate_grows_sublinearly_in_m(self):
         small = _golomb_blob_bytes(100, 1000)

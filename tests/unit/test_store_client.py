@@ -117,6 +117,26 @@ class TestMetering:
         assert batched.kv_reads == individual.kv_reads == 10
         assert batched.sim_time_s < individual.sim_time_s
 
+    def test_multi_get_charges_request_overhead_per_region(self, empty_platform):
+        """One RPC per region touched means one request header per region —
+        a single flat header contradicted the latency accounting (which
+        already scaled with regions touched)."""
+        from repro.store.client import REQUEST_OVERHEAD_BYTES
+
+        htable = empty_platform.store.create_table("t", {"d"}, split_keys=["r5"])
+        for i in range(10):
+            htable.put(Put(f"r{i}").add("d", "c", b"v"))
+        gets = [Get(f"r{i}") for i in range(10)]
+        backing = empty_platform.store.backing("t")
+        response = sum(backing.read_row(f"r{i}").serialized_size() for i in range(10))
+        keys = sum(len(f"r{i}") for i in range(10))
+
+        empty_platform.reset_metrics()
+        htable.multi_get(gets)
+        delta = empty_platform.metrics.snapshot()
+        # the batch spans both regions: two request headers, not one
+        assert delta.network_bytes == 2 * REQUEST_OVERHEAD_BYTES + keys + response
+
 
 class TestScans:
     @pytest.fixture()
