@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-planner bench-wallclock docs-check examples all
+.PHONY: test bench bench-planner bench-wallclock bench-multiway docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -23,6 +23,12 @@ bench-wallclock:
 	BENCH_OUT=BENCH_read_path.candidate.json $(PYTHON) -m pytest benchmarks/test_wallclock.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_read_path.json BENCH_read_path.candidate.json
 
+## n-way (3/4-way) grid: simulated per-cell costs of the three multi-way
+## strategies, diffed against the committed BENCH_multiway.json (warn-only)
+bench-multiway:
+	BENCH_MULTIWAY_OUT=BENCH_multiway.candidate.json $(PYTHON) -m pytest benchmarks/test_multiway.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_multiway.json BENCH_multiway.candidate.json
+
 ## docstring coverage + README code blocks actually run
 docs-check:
 	$(PYTHON) tools/docs_check.py
@@ -31,5 +37,6 @@ docs-check:
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/explain_plan.py
+	$(PYTHON) examples/multiway_explain.py
 
 all: test docs-check

@@ -7,15 +7,17 @@ algorithm, and scores the planner two ways:
 
 * **hit rate** — fraction of cells where ``algorithm="auto"`` would have
   picked the measured-fastest algorithm (acceptance floor: 70%; current
-  target since the §5.3 cascade became part of the BFHM simulator: 19/20);
+  target since the join-profile-aware HRJN depth replay: 20/20);
 * **regret** — time of the planner's choice relative to the fastest
   (how much a wrong pick actually costs).
 
-Calibration snapshot at the time of writing: 19/20 cells (95%), mean
-regret ≈ 1.003×; the single miss is an ISL/BFHM near-tie (LC Q1 k=20,
-regret 1.05) driven by ISL's slight underestimate.  The former worst cell
-— LC Q2 k=100, where the repair cascade was priced as free — now
-estimates within 15% of measured (asserted below).
+Calibration snapshot at the time of writing: 20/20 cells (100%), mean
+regret 1.000×.  The former last miss — LC Q1 k=20, an ISL/BFHM near-tie
+driven by the HRJN depth simulation's uniform-selectivity model running
+one ~100-row batch short — fell to the join-profile-aware results model
+(score-correlated join skew deepens the simulated scan exactly as it does
+the real one).  The LC Q2 k=100 repair-cascade cell still estimates
+within 15% of measured (asserted below).
 
 Run through ``make bench-planner`` the per-cell regrets are written to a
 candidate JSON (via ``BENCH_PLANNER_OUT``) and diffed warn-only against
@@ -37,8 +39,8 @@ EC2_ALGORITHMS = ["hive", "pig", "ijlmr", "isl", "bfhm"]
 LC_ALGORITHMS = ["isl", "bfhm", "drjn"]
 
 ACCURACY_FLOOR = 0.70
-#: fig7+fig8 cells the planner must pick correctly (ISSUE 3 acceptance)
-ACCURACY_TARGET_HITS = 19
+#: fig7+fig8 cells the planner must pick correctly (ISSUE 4: all of them)
+ACCURACY_TARGET_HITS = 20
 REGRET_CEILING = 1.10
 #: |est - measured| / measured ceiling for the repair-cascade showcase cell
 CASCADE_CELL_TOLERANCE = 0.15

@@ -36,13 +36,14 @@ from repro.common.multiway import MultiJoinTuple
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core import BFHMRankJoin, HRJNOperator, IJLMRRankJoin, ISLRankJoin
 from repro.core.bfhm import TerminationPolicy, WriteBackPolicy
-from repro.core.hrjn_multi import MultiWayHRJN
+from repro.core.bfhm.multi import BFHMCascadeRankJoin
+from repro.core.hrjn_multi import MultiWayHRJN, MultiWayHRJNRankJoin
 from repro.core.isl_multi import MultiRankJoinQuery, MultiWayISLRankJoin
 from repro.platform import Platform
 from repro.query.engine import RankJoinEngine
 from repro.query.parser import parse_rank_join
 from repro.query.planner import CostEstimate, QueryPlan, QueryPlanner
-from repro.query.results import RankJoinResult
+from repro.query.results import MultiRankJoinResult, RankJoinResult
 from repro.query.spec import RankJoinQuery
 from repro.query.statistics import StatisticsCatalog, TableStatistics
 from repro.relational.binding import RelationBinding
@@ -66,9 +67,12 @@ __all__ = [
     "MultiJoinTuple",
     "ScoredRow",
     "BFHMRankJoin",
+    "BFHMCascadeRankJoin",
     "HRJNOperator",
     "MultiWayHRJN",
+    "MultiWayHRJNRankJoin",
     "MultiRankJoinQuery",
+    "MultiRankJoinResult",
     "MultiWayISLRankJoin",
     "IJLMRRankJoin",
     "ISLRankJoin",

@@ -66,7 +66,7 @@ class RankJoinAlgorithm(ABC):
         Returns build reports for indices actually built by this call.
         """
         reports = []
-        for binding in (query.left, query.right):
+        for binding in query.inputs:
             if binding.signature in self._build_reports:
                 continue
             report = self._build_index(binding)
@@ -86,6 +86,14 @@ class RankJoinAlgorithm(ABC):
 
     def execute(self, query: RankJoinQuery) -> RankJoinResult:
         """Run the query, reporting only this execution's costs."""
+        if query.arity != 2:
+            from repro.errors import QueryError
+
+            raise QueryError(
+                f"{self.name} is a two-way algorithm; route arity-"
+                f"{query.arity} queries through the engine's multi-way "
+                "dispatch (RankJoinEngine.execute) instead"
+            )
         self.prepare(query)
         before = self.platform.metrics.snapshot()
         details = _ExecutionDetails()

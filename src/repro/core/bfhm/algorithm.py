@@ -163,6 +163,19 @@ class BFHMRankJoin(RankJoinAlgorithm):
 
         return self._metered_build(self.name, signature, build)
 
+    def forget(self, signature_prefix: str) -> None:
+        """Drop all index state registered under signatures starting with
+        ``signature_prefix`` (build reports, metas, pending write-backs).
+
+        Used by the cascade to evict its per-query temporary relations;
+        keeping the eviction here, next to the registries it clears, means
+        a registry restructuring cannot silently orphan it."""
+        for key in [
+            k for k in self._build_reports if k.startswith(signature_prefix)
+        ]:
+            del self._build_reports[key]
+        self.update_manager.forget(signature_prefix)
+
     # -- query processing -----------------------------------------------------------
 
     def _run(self, query: RankJoinQuery, details: _ExecutionDetails) -> list[JoinTuple]:

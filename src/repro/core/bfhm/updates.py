@@ -116,6 +116,17 @@ class BFHMUpdateManager:
                 "update manager"
             ) from None
 
+    def forget(self, signature_prefix: str) -> None:
+        """Drop registered metas and pending write-backs whose signature
+        (or index family) starts with ``signature_prefix`` — the eviction
+        hook for short-lived relations like cascade intermediates."""
+        for key in [k for k in self._metas if k.startswith(signature_prefix)]:
+            del self._metas[key]
+        for key in [
+            k for k in self._pending if k[0].startswith(signature_prefix)
+        ]:
+            del self._pending[key]
+
     def _extend_meta_buckets(self, signature: str, bucket: int) -> None:
         """Record a newly non-empty bucket in the meta row."""
         meta = self.meta(signature)

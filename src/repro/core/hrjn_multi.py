@@ -125,6 +125,74 @@ class MultiWayHRJN:
         return tuple(state.tuples_seen for state in self._inputs)
 
 
+class MultiWayHRJNRankJoin:
+    """Index-free n-way HRJN pipeline over metered base-table scans.
+
+    The coordinator streams every input relation once (batched scans, the
+    same charging as any other coordinator algorithm), sorts each side by
+    descending score in memory, then drives the n-way HRJN operator with
+    alternating pulls until the generalized threshold fires.  No index is
+    required, which makes this the fallback strategy at any arity — the
+    n-way analogue of a client-side sort-merge baseline.
+    """
+
+    name = "HRJN-nway"
+
+    #: scanner row caching for the base-table streams
+    SCAN_CACHING = 200
+
+    def __init__(self, platform) -> None:
+        self.platform = platform
+
+    def prepare(self, query) -> list:
+        """Index-free: nothing to build."""
+        return []
+
+    def build_report(self, binding) -> None:
+        return None
+
+    def _load(self, binding) -> list[ScoredRow]:
+        from repro.relational.binding import row_to_scored
+        from repro.store.client import Scan
+
+        htable = self.platform.store.table(binding.table)
+        rows: list[ScoredRow] = []
+        scan = Scan(families={binding.family}, caching=self.SCAN_CACHING)
+        for row in htable.scan(scan):
+            try:
+                rows.append(row_to_scored(binding, row))
+            except QueryError:
+                continue  # rows lacking join/score columns don't join
+        return rows
+
+    def execute(self, query):
+        from repro.query.results import MultiRankJoinResult
+
+        before = self.platform.metrics.snapshot()
+        relations = [self._load(binding) for binding in query.inputs]
+        # coordinator-side sort costs CPU proportional to the rows moved
+        model = self.platform.ctx.cost_model
+        total_rows = sum(len(relation) for relation in relations)
+        self.platform.metrics.advance_time(model.cpu_time(total_rows))
+
+        # hrjn_join_multi sorts each input and drives the operator with
+        # the same alternation/termination loop the in-memory reference
+        # uses — one implementation, two callers
+        tuples, seen = hrjn_join_multi(relations, query.function, query.k)
+
+        after = self.platform.metrics.snapshot()
+        return MultiRankJoinResult(
+            algorithm=self.name,
+            k=query.k,
+            tuples=tuples,
+            metrics=after - before,
+            details={
+                "rows_scanned": float(total_rows),
+                **{f"tuples_seen_{i}": count for i, count in enumerate(seen)},
+            },
+        )
+
+
 def hrjn_join_multi(
     relations: "list[list[ScoredRow]]",
     function: AggregateFunction,

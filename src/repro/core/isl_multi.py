@@ -4,86 +4,23 @@ The same ISL index serves any arity: one column family per relation in the
 shared index table, scanned in descending score order.  The coordinator
 round-robins batched scans over all n families, feeding the n-way HRJN
 operator until its generalized threshold fires.
+
+Queries arrive as the engine-wide n-ary
+:class:`~repro.query.spec.RankJoinQuery`; ``MultiRankJoinQuery`` remains
+as a compatibility alias from before the spec unification.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.cluster.metrics import MetricsSnapshot
-from repro.common.functions import AggregateFunction, resolve_function
-from repro.common.multiway import MultiJoinTuple
 from repro.core.hrjn_multi import MultiWayHRJN
 from repro.core.isl import DEFAULT_BATCH_FRACTION, ISLRankJoin, _SideCursor
-from repro.errors import QueryError
 from repro.platform import Platform
+from repro.query.results import MultiRankJoinResult
 from repro.query.spec import RankJoinQuery
 from repro.relational.binding import RelationBinding
 
-
-@dataclass(frozen=True)
-class MultiRankJoinQuery:
-    """An n-way top-k equi-join over a single shared join attribute."""
-
-    inputs: tuple[RelationBinding, ...]
-    function: AggregateFunction
-    k: int
-
-    def __post_init__(self) -> None:
-        if len(self.inputs) < 2:
-            raise QueryError(
-                f"multi-way query needs >= 2 relations, got {len(self.inputs)}"
-            )
-        if self.k <= 0:
-            raise QueryError(f"k must be positive: {self.k}")
-
-    @staticmethod
-    def of(
-        inputs: "list[RelationBinding]",
-        function: "str | AggregateFunction",
-        k: int,
-    ) -> "MultiRankJoinQuery":
-        return MultiRankJoinQuery(tuple(inputs), resolve_function(function), k)
-
-    def pairwise(self, left_index: int = 0, right_index: int = 1) -> RankJoinQuery:
-        """A two-way projection (used to reuse the 2-way index builder)."""
-        if not isinstance(self.function, AggregateFunction):  # pragma: no cover
-            raise QueryError("function must be an AggregateFunction")
-        return RankJoinQuery(
-            self.inputs[left_index], self.inputs[right_index], self.function,
-            self.k,
-        )
-
-
-@dataclass
-class MultiRankJoinResult:
-    """N-way result with its measured costs."""
-
-    algorithm: str
-    k: int
-    tuples: list[MultiJoinTuple]
-    metrics: MetricsSnapshot
-    details: dict[str, float] = field(default_factory=dict)
-
-    def scores(self) -> list[float]:
-        return [t.score for t in self.tuples]
-
-    def recall_against(self, truth: "list[MultiJoinTuple]") -> float:
-        if not truth:
-            return 1.0
-        want = sorted((t.score for t in truth), reverse=True)
-        got = sorted((t.score for t in self.tuples), reverse=True)
-        matched = i = j = 0
-        while i < len(want) and j < len(got):
-            if abs(want[i] - got[j]) <= 1e-9:
-                matched += 1
-                i += 1
-                j += 1
-            elif got[j] > want[i]:
-                j += 1
-            else:
-                i += 1
-        return matched / len(want)
+#: the unified n-ary spec (kept importable under the historical name)
+MultiRankJoinQuery = RankJoinQuery
 
 
 class MultiWayISLRankJoin:
@@ -101,12 +38,17 @@ class MultiWayISLRankJoin:
         # delegate index builds (and batch sizing) to the 2-way machinery
         self._builder = ISLRankJoin(platform, batch_fraction, batch_rows)
 
-    def prepare(self, query: MultiRankJoinQuery) -> None:
+    def prepare(self, query: RankJoinQuery) -> list:
         """Build the ISL index family of every input relation."""
+        reports = []
         for index in range(0, len(query.inputs) - 1):
-            self._builder.prepare(query.pairwise(index, index + 1))
+            reports.extend(self._builder.prepare(query.pairwise(index, index + 1)))
+        return reports
 
-    def execute(self, query: MultiRankJoinQuery) -> MultiRankJoinResult:
+    def build_report(self, binding: RelationBinding):
+        return self._builder.build_report(binding)
+
+    def execute(self, query: RankJoinQuery) -> MultiRankJoinResult:
         self.prepare(query)
         before = self.platform.metrics.snapshot()
 

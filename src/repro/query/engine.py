@@ -24,17 +24,20 @@ from repro.baselines.hive import HiveRankJoin
 from repro.baselines.pig import PigRankJoin
 from repro.core.base import RankJoinAlgorithm
 from repro.core.bfhm.algorithm import BFHMRankJoin
+from repro.core.bfhm.multi import BFHMCascadeRankJoin
+from repro.core.hrjn_multi import MultiWayHRJNRankJoin
 from repro.core.ijlmr import IJLMRRankJoin
 from repro.core.isl import ISLRankJoin
+from repro.core.isl_multi import MultiWayISLRankJoin
 from repro.errors import PlanningError
 from repro.platform import Platform
 from repro.query.parser import parse_rank_join
 from repro.query.planner import QueryPlan, QueryPlanner
-from repro.query.results import RankJoinResult
+from repro.query.results import MultiRankJoinResult, RankJoinResult
 from repro.query.spec import RankJoinQuery
 from repro.query.statistics import StatisticsCatalog
 
-#: algorithm name -> factory; lowercase keys
+#: algorithm name -> factory for two-way queries; lowercase keys
 ALGORITHM_FACTORIES = {
     "hive": HiveRankJoin,
     "pig": PigRankJoin,
@@ -42,6 +45,23 @@ ALGORITHM_FACTORIES = {
     "isl": ISLRankJoin,
     "bfhm": BFHMRankJoin,
     "drjn": DRJNRankJoin,
+}
+
+#: algorithm name -> factory for arity >= 3 queries; the names overlap the
+#: two-way registry on purpose — ``algorithm="isl"`` or ``"bfhm"`` picks
+#: the right variant for the query's arity, and ``"hrjn"`` is the
+#: index-free n-way pipeline
+MULTIWAY_FACTORIES = {
+    "isl": MultiWayISLRankJoin,
+    "hrjn": MultiWayHRJNRankJoin,
+    "bfhm": BFHMCascadeRankJoin,
+}
+
+#: display names (algorithm.name / planner estimate labels) -> registry key
+MULTIWAY_ALIASES = {
+    "isl-nway": "isl",
+    "hrjn-nway": "hrjn",
+    "bfhm-cascade": "bfhm",
 }
 
 #: the planner-backed pseudo-algorithm name (and the engine-wide default)
@@ -54,6 +74,7 @@ class RankJoinEngine:
     def __init__(self, platform: Platform, **algorithm_kwargs) -> None:
         self.platform = platform
         self._algorithms: dict[str, RankJoinAlgorithm] = {}
+        self._multiway: dict[str, object] = {}
         self._algorithm_kwargs = algorithm_kwargs
         self.statistics = StatisticsCatalog(platform)
         self.planner = QueryPlanner(self, self.statistics)
@@ -61,7 +82,7 @@ class RankJoinEngine:
         self.last_plan: "QueryPlan | None" = None
 
     def algorithm(self, name: str) -> RankJoinAlgorithm:
-        """The (cached) algorithm instance for ``name``."""
+        """The (cached) two-way algorithm instance for ``name``."""
         key = name.lower()
         if key in self._algorithms:  # explicitly registered instances win
             return self._algorithms[key]
@@ -74,17 +95,59 @@ class RankJoinEngine:
         self._algorithms[key] = ALGORITHM_FACTORIES[key](self.platform, **kwargs)
         return self._algorithms[key]
 
+    def multiway_algorithm(self, name: str):
+        """The (cached) arity >= 3 strategy instance for ``name``."""
+        key = name.lower()
+        if key in self._multiway:  # explicitly registered instances win,
+            return self._multiway[key]  # even under a display-name alias
+        key = MULTIWAY_ALIASES.get(key, key)
+        if key in self._multiway:
+            return self._multiway[key]
+        if key not in MULTIWAY_FACTORIES:
+            raise PlanningError(
+                f"unknown multi-way algorithm {name!r}; choose from "
+                f"{sorted(MULTIWAY_FACTORIES)} (or {AUTO!r})"
+            )
+        factory = MULTIWAY_FACTORIES[key]
+        kwargs = dict(self._algorithm_kwargs.get(key, {}))
+        if key == "bfhm":
+            # the cascade shares the binary BFHM's tuning knobs but not its
+            # write-back threshold (intermediates are rebuilt, not updated)
+            kwargs.pop("writeback_threshold", None)
+        self._multiway[key] = factory(self.platform, **kwargs)
+        return self._multiway[key]
+
     def register(self, name: str, algorithm: RankJoinAlgorithm) -> None:
-        """Plug in a custom or specially configured algorithm instance."""
+        """Plug in a custom or specially configured *two-way* algorithm
+        instance (see :meth:`register_multiway` for arity >= 3)."""
         self._algorithms[name.lower()] = algorithm
+
+    def register_multiway(self, name: str, algorithm) -> None:
+        """Plug in a custom arity >= 3 strategy instance.
+
+        The instance must provide ``prepare(query)``, ``execute(query)``
+        and ``build_report(binding)`` (duck-typed, like the built-in
+        multi-way strategies)."""
+        self._multiway[name.lower()] = algorithm
 
     #: algorithm auto mode falls back to when planning is impossible
     #: (e.g. an empty relation has no statistics to price from) — matches
     #: the engine's pre-planner default, so such queries behave as before
     FALLBACK_ALGORITHM = "bfhm"
+    #: the arity >= 3 fallback is the index-free HRJN pipeline: it needs no
+    #: statistics and works over any inputs
+    MULTIWAY_FALLBACK_ALGORITHM = "hrjn"
 
-    def execute(self, query: RankJoinQuery, algorithm: str = AUTO) -> RankJoinResult:
-        """Run a bound query; ``algorithm="auto"`` lets the planner pick."""
+    def execute(
+        self, query: RankJoinQuery, algorithm: str = AUTO
+    ) -> "RankJoinResult | MultiRankJoinResult":
+        """Run a bound query; ``algorithm="auto"`` lets the planner pick.
+
+        Two-way queries run the classic algorithm registry and return a
+        :class:`RankJoinResult`; arity >= 3 queries dispatch to the n-way
+        strategies and return a :class:`MultiRankJoinResult`.
+        """
+        multiway = query.arity > 2
         name = algorithm.lower()
         if name == AUTO:
             try:
@@ -92,13 +155,19 @@ class RankJoinEngine:
                 name = self.last_plan.chosen
             except PlanningError:
                 self.last_plan = None
-                name = self.FALLBACK_ALGORITHM
-        instance = self.algorithm(name)
+                name = (
+                    self.MULTIWAY_FALLBACK_ALGORITHM
+                    if multiway
+                    else self.FALLBACK_ALGORITHM
+                )
+        instance = (
+            self.multiway_algorithm(name) if multiway else self.algorithm(name)
+        )
         # first-use execution may build indices as a side effect; note
         # which bindings lack one so the statistics cache can be refreshed
         unbuilt = [
             binding
-            for binding in (query.left, query.right)
+            for binding in query.inputs
             if instance.build_report(binding) is None
         ]
         result = instance.execute(query)
@@ -107,8 +176,10 @@ class RankJoinEngine:
                 self.statistics.invalidate(binding.table)
         return result
 
-    def sql(self, text: str, algorithm: str = AUTO, family: str = "d") -> RankJoinResult:
-        """Parse and run a SQL-dialect query (§1.1 syntax)."""
+    def sql(
+        self, text: str, algorithm: str = AUTO, family: str = "d"
+    ) -> "RankJoinResult | MultiRankJoinResult":
+        """Parse and run a SQL-dialect query (§1.1 syntax, any arity)."""
         return self.execute(parse_rank_join(text, family=family), algorithm)
 
     # -- planning ------------------------------------------------------------
@@ -151,12 +222,17 @@ class RankJoinEngine:
     def prepare(self, query: RankJoinQuery, algorithms: "list[str] | None" = None):
         """Pre-build indices for a query across algorithms; returns the
         build reports (the Fig. 9 measurement)."""
-        names = algorithms or ["ijlmr", "isl", "bfhm", "drjn"]
+        if query.arity > 2:
+            names = algorithms or ["isl", "bfhm"]
+            instances = [self.multiway_algorithm(name) for name in names]
+        else:
+            names = algorithms or ["ijlmr", "isl", "bfhm", "drjn"]
+            instances = [self.algorithm(name) for name in names]
         reports = []
-        for name in names:
-            reports.extend(self.algorithm(name).prepare(query))
+        for instance in instances:
+            reports.extend(instance.prepare(query))
         if reports:
             # index builds change footprints the planner prices from
-            for binding in (query.left, query.right):
+            for binding in query.inputs:
                 self.statistics.invalidate(binding.table)
         return reports

@@ -79,8 +79,7 @@ def render_plan(plan: "QueryPlan") -> str:
         lines.append(f"  {comparison_line}")
     lines.append("")
 
-    for label in ("left", "right"):
-        stats = plan.statistics[label]
+    for label, stats in plan.statistics.items():
         built = sorted(
             kind for kind, index in stats.indexes.items() if index.built
         )

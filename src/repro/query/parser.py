@@ -1,25 +1,28 @@
-"""Parser for the paper's SQL dialect (§1.1).
+"""Parser for the paper's SQL dialect (§1.1, extended to §3's n-way joins).
 
-Grammar (two-way rank joins; whitespace-insensitive, case-insensitive
-keywords)::
+Grammar (whitespace-insensitive, case-insensitive keywords)::
 
     query      := SELECT select_list
-                  FROM table alias "," table alias
-                  WHERE alias "." column "=" alias "." column
+                  FROM table alias ("," table alias)+
+                  WHERE join_cond ("AND" join_cond)*
                   ORDER BY score_expr
                   STOP AFTER integer
+    join_cond  := alias "." column "=" alias "." column
     select_list := "*" | alias "." column ("," alias "." column)*
     score_expr := sum_expr
     sum_expr   := mul_expr (("+") mul_expr)*
     mul_expr   := atom (("*") atom)*
     atom       := NUMBER | alias "." column
-                  | ("MAX"|"MIN") "(" alias.column "," alias.column ")"
+                  | ("MAX"|"MIN") "(" alias.column ("," alias.column)+ ")"
                   | "(" sum_expr ")"
 
-The score expression must reduce to a monotone aggregate of exactly one
-score column per relation: ``A.x * B.y`` (product), ``A.x + B.y`` (sum),
-``c1*A.x + c2*B.y`` (weighted sum), or ``MAX/MIN(A.x, B.y)``.  Both of the
-paper's evaluation queries (Q1 product, Q2 sum) parse as-is.
+The join conditions must form one connected equivalence class covering
+every relation of the FROM clause (a single shared join attribute, the
+paper's §3 multi-way shape).  The score expression must reduce to a
+monotone aggregate of exactly one score column per relation: a product
+``A.x * B.y * C.z``, a (weighted) sum ``c1*A.x + c2*B.y + ...``, or
+``MAX/MIN`` over one column per relation.  Both of the paper's evaluation
+queries (Q1 product, Q2 sum) parse as-is.
 """
 
 from __future__ import annotations
@@ -46,7 +49,8 @@ _TOKEN_RE = re.compile(
 )
 
 _KEYWORDS = {
-    "select", "from", "where", "order", "by", "stop", "after", "max", "min",
+    "select", "from", "where", "and", "order", "by", "stop", "after",
+    "max", "min",
 }
 
 
@@ -153,7 +157,7 @@ class _Parser:
         self._expect_word("from")
         tables = self._from_clause()
         self._expect_word("where")
-        join_left, join_right = self._where_clause()
+        join_conditions = self._where_clause()
         self._expect_word("order")
         self._expect_word("by")
         function, score_columns = self._score_expression()
@@ -166,7 +170,7 @@ class _Parser:
                 f"trailing input after STOP AFTER: {token.text!r}",  # type: ignore[union-attr]
                 token.position,  # type: ignore[union-attr]
             )
-        return ParsedQuery(select_list, tables, (join_left, join_right),
+        return ParsedQuery(select_list, tables, tuple(join_conditions),
                            function, score_columns, k)
 
     def _select_list(self) -> "list[_ColumnRef] | None":
@@ -194,9 +198,9 @@ class _Parser:
                 self._next()
                 continue
             break
-        if len(tables) != 2:
+        if len(tables) < 2:
             raise ParseError(
-                f"exactly two relations are supported, got {len(tables)}"
+                f"rank joins need at least two relations, got {len(tables)}"
             )
         return tables
 
@@ -206,12 +210,19 @@ class _Parser:
         column = self._identifier()
         return _ColumnRef(alias, column)
 
-    def _where_clause(self) -> tuple[_ColumnRef, _ColumnRef]:
+    def _where_clause(self) -> "list[tuple[_ColumnRef, _ColumnRef]]":
+        conditions = [self._join_condition()]
+        while self._at_word("and"):
+            self._next()
+            conditions.append(self._join_condition())
+        return conditions
+
+    def _join_condition(self) -> "tuple[_ColumnRef, _ColumnRef]":
         left = self._column_ref()
         self._expect_symbol("=")
         right = self._column_ref()
         if left.alias == right.alias:
-            raise ParseError("join condition must relate the two relations")
+            raise ParseError("join condition must relate two distinct relations")
         return left, right
 
     def _integer(self) -> int:
@@ -229,16 +240,22 @@ class _Parser:
         if self._at_word("max") or self._at_word("min"):
             kind = self._next().text.lower()
             self._expect_symbol("(")
-            first = self._column_ref()
-            self._expect_symbol(",")
-            second = self._column_ref()
+            columns = [self._column_ref()]
+            while self._at_symbol(","):
+                self._next()
+                columns.append(self._column_ref())
             self._expect_symbol(")")
-            if first.alias == second.alias:
+            if len(columns) < 2:
+                raise ParseError(
+                    f"{kind.upper()} needs one column per relation"
+                )
+            aliases = [c.alias for c in columns]
+            if len(set(aliases)) != len(aliases):
                 raise ParseError(
                     "score expression must use one column per relation"
                 )
             function = MaxFunction() if kind == "max" else MinFunction()
-            return function, {first.alias: first.column, second.alias: second.column}
+            return function, {c.alias: c.column for c in columns}
         terms = self._sum_expr()
         return _terms_to_function(terms)
 
@@ -282,7 +299,7 @@ class ParsedQuery:
 
     select_list: "list[_ColumnRef] | None"
     tables: dict[str, str]  # alias -> table name
-    join_columns: tuple[_ColumnRef, _ColumnRef]
+    join_conditions: "tuple[tuple[_ColumnRef, _ColumnRef], ...]"
     function: AggregateFunction
     score_columns: dict[str, str]  # alias -> score column
     k: int
@@ -305,7 +322,8 @@ def _terms_to_function(
 
     if len(collapsed) == 1:
         coefficient, columns = collapsed[0]
-        if len(columns) != 2 or columns[0].alias == columns[1].alias:
+        aliases = [c.alias for c in columns]
+        if len(columns) < 2 or len(set(aliases)) != len(aliases):
             raise ParseError(
                 "product score expression must multiply one column from "
                 "each relation"
@@ -317,29 +335,65 @@ def _terms_to_function(
             )
         return ProductFunction(), {c.alias: c.column for c in columns}
 
-    if len(collapsed) == 2:
-        aliases: dict[str, str] = {}
-        weights: list[float] = []
-        for coefficient, columns in collapsed:
-            if len(columns) != 1:
-                raise ParseError(
-                    "each additive term must reference exactly one column"
-                )
-            column = columns[0]
-            if column.alias in aliases:
-                raise ParseError(
-                    "score expression must use one column per relation"
-                )
-            aliases[column.alias] = column.column
-            weights.append(coefficient)
-        if weights == [1.0, 1.0]:
-            return SumFunction(), aliases
-        return WeightedSumFunction(weights), aliases
+    aliases: dict[str, str] = {}
+    weights: list[float] = []
+    for coefficient, columns in collapsed:
+        if len(columns) != 1:
+            raise ParseError(
+                "each additive term must reference exactly one column"
+            )
+        column = columns[0]
+        if column.alias in aliases:
+            raise ParseError(
+                "score expression must use one column per relation"
+            )
+        aliases[column.alias] = column.column
+        weights.append(coefficient)
+    if all(weight == 1.0 for weight in weights):
+        return SumFunction(), aliases
+    return WeightedSumFunction(weights), aliases
 
-    raise ParseError(
-        f"score expression has {len(collapsed)} additive terms; "
-        "two-way rank joins need exactly one per relation"
-    )
+
+def _join_columns_by_alias(
+    parsed: ParsedQuery, aliases: "list[str]"
+) -> dict[str, str]:
+    """Resolve each alias's join column, requiring one connected
+    equivalence class over a single shared join attribute."""
+    columns: dict[str, str] = {}
+    # union-find over aliases to check the join graph is connected
+    parent = {alias: alias for alias in aliases}
+
+    def find(alias: str) -> str:
+        while parent[alias] != alias:
+            parent[alias] = parent[parent[alias]]
+            alias = parent[alias]
+        return alias
+
+    for left, right in parsed.join_conditions:
+        for ref in (left, right):
+            if ref.alias not in parent:
+                raise ParseError(
+                    f"join condition references unknown alias {ref.alias!r}"
+                )
+            known = columns.get(ref.alias)
+            if known is not None and known != ref.column:
+                raise ParseError(
+                    f"alias {ref.alias!r} joins on both {known!r} and "
+                    f"{ref.column!r}; rank joins use one shared join "
+                    "attribute per relation"
+                )
+            columns[ref.alias] = ref.column
+        parent[find(left.alias)] = find(right.alias)
+
+    roots = {find(alias) for alias in aliases}
+    if len(roots) != 1:
+        for alias in aliases:
+            if alias not in columns:
+                raise ParseError(
+                    f"join condition does not cover alias {alias!r}"
+                )
+        raise ParseError("join conditions do not connect all relations")
+    return columns
 
 
 def parse_rank_join(
@@ -347,30 +401,34 @@ def parse_rank_join(
     family: str = "d",
     join_column_overrides: "dict[str, str] | None" = None,
 ) -> RankJoinQuery:
-    """Parse query text into a bound :class:`RankJoinQuery`.
+    """Parse query text into a bound n-ary :class:`RankJoinQuery`.
 
-    The weighted-sum case must keep weights aligned with the (left, right)
-    relation order of the FROM clause, so the parser re-orders them here.
+    The weighted-sum case must keep weights aligned with the relation
+    order of the FROM clause, so the parser re-orders them here.
     """
     parsed = _Parser(text).parse()
     aliases = list(parsed.tables)
-    left_alias, right_alias = aliases[0], aliases[1]
 
-    join_by_alias = {ref.alias: ref.column for ref in parsed.join_columns}
-    for alias in (left_alias, right_alias):
+    join_by_alias = _join_columns_by_alias(parsed, aliases)
+    for alias in aliases:
         if alias not in join_by_alias:
             raise ParseError(f"join condition does not cover alias {alias!r}")
         if alias not in parsed.score_columns:
             raise ParseError(f"score expression does not cover alias {alias!r}")
+    for alias in parsed.score_columns:
+        if alias not in parsed.tables:
+            raise ParseError(
+                f"score expression references unknown alias {alias!r}"
+            )
 
     function = parsed.function
     if isinstance(function, WeightedSumFunction):
         # weights were collected in expression order; re-align to FROM order
         expression_aliases = list(parsed.score_columns)
-        if expression_aliases != [left_alias, right_alias]:
+        if expression_aliases != aliases:
             function = WeightedSumFunction(
-                [function.weights[expression_aliases.index(left_alias)],
-                 function.weights[expression_aliases.index(right_alias)]]
+                [function.weights[expression_aliases.index(alias)]
+                 for alias in aliases]
             )
 
     overrides = join_column_overrides or {}
@@ -385,8 +443,7 @@ def parse_rank_join(
         )
 
     return RankJoinQuery(
-        left=binding(left_alias),
-        right=binding(right_alias),
+        inputs=tuple(binding(alias) for alias in aliases),
         function=function,
         k=parsed.k,
     )

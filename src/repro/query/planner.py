@@ -6,12 +6,15 @@ coordinator algorithms win at small budgets and low-latency clusters, and
 the MapReduce approaches only pay off at bulk scale.  The planner makes
 that trade-off explicit: given a parsed :class:`RankJoinQuery` it
 
-1. pulls :class:`~repro.query.statistics.TableStatistics` for both
-   relations from the engine's :class:`StatisticsCatalog`,
+1. pulls :class:`~repro.query.statistics.TableStatistics` for every
+   input relation from the engine's :class:`StatisticsCatalog`,
 2. prices every candidate algorithm with the platform's calibrated
    :class:`~repro.cluster.costmodel.CostModel` — RPC rounds and scan depth
    for coordinator algorithms (ISL), bucket and reverse-mapping probes for
-   BFHM, job startup plus scan volume for the MapReduce family — and
+   BFHM, job startup plus scan volume for the MapReduce family; arity >= 3
+   queries price the three n-way strategies instead (n-way ISL, the
+   index-free HRJN pipeline, and the left-deep BFHM cascade with per-stage
+   components) — and
 3. returns a :class:`QueryPlan` ranking the candidates by the requested
    objective (simulated time, network bytes, or KV read units).
 
@@ -39,7 +42,7 @@ from repro.query.statistics import (
     TableStatistics,
     expected_bucket_join,
 )
-from repro.sketches.histogram import bucket_bounds
+from repro.sketches.histogram import bucket_bounds, score_to_bucket
 
 # request/response framing constants of the metered store client — imported
 # so planner estimates can never drift from the substrate's actual charges
@@ -55,9 +58,20 @@ OBJECTIVES = {
     "kv_reads": "kv_reads",
 }
 
-#: ISL discovers termination mid-batch but the scanner has already shipped
-#: the whole batch; charge this many extra batches per side
-ISL_OVERSHOOT_BATCHES = 1
+#: the HRJN depth replay terminates on an *expected* result count, but the
+#: execution terminates on the realized one, whose median sits ~1/3 below
+#: the mean (Poisson median ≈ μ - 1/3) — without the correction the replay
+#: systematically overshoots the k=1 cells by one alternation round
+HRJN_MEDIAN_CORRECTION = 0.35
+
+#: relative downward bias of the expected-results model itself: smearing
+#: bucket-pair matches over score spans loses the within-bucket rank/score
+#: coupling, measured at ~0.8% of k on the Fig. 7/8 grid (one alternation
+#: round at k=50); folded into the termination target as a multiplier.
+#: Calibration windows from the grid's μ trajectories (see ISSUE 4):
+#: k=1 needs corr ≥ 0.348, k=10 needs corr < 0.439, k=50 needs
+#: corr ≥ 0.727 — satisfied by 0.35 + 0.008·k
+HRJN_RESULTS_BIAS = 0.008
 
 
 def _remote_fraction(workers: int) -> float:
@@ -218,6 +232,33 @@ class _SideProfile:
 
     def mid(self, index: int) -> float:
         return (self.mins[index] + self.maxes[index]) / 2.0
+
+    def score_at_depth(self, consumed: float) -> float:
+        """Score at a scan depth of ``consumed`` tuples (interpolated
+        linearly within the frontier bucket)."""
+        remaining = consumed
+        for index in range(len(self.counts)):
+            count = self.counts[index]
+            if remaining <= count:
+                fraction = remaining / count if count else 1.0
+                return self.maxes[index] - fraction * (
+                    self.maxes[index] - self.mins[index]
+                )
+            remaining -= count
+        return self.mins[-1]
+
+    def seen_at_depth(self, consumed: float) -> "list[float]":
+        """Per-bucket tuple counts consumed by a depth-``consumed`` scan
+        (truncated after the frontier bucket)."""
+        remaining = consumed
+        seen = []
+        for count in self.counts:
+            take = min(count, remaining)
+            seen.append(take)
+            remaining -= take
+            if remaining <= 0:
+                break
+        return seen
 
     def upper_boundary(self, index: int) -> float:
         """Theoretical upper boundary of the bucket (what BFHM termination
@@ -439,41 +480,61 @@ class QueryPlanner:
         objective: str = "time",
         algorithms: "list[str] | None" = None,
     ) -> QueryPlan:
-        """Price ``algorithms`` (default: all registered factories) for
-        ``query`` and return them ranked by ``objective``."""
+        """Price ``algorithms`` (default: every registered factory of the
+        query's arity) for ``query``, ranked by ``objective``."""
         if objective not in OBJECTIVES:
             raise PlanningError(
                 f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
             )
-        from repro.query.engine import ALGORITHM_FACTORIES
+        from repro.query.engine import (
+            ALGORITHM_FACTORIES,
+            MULTIWAY_ALIASES,
+            MULTIWAY_FACTORIES,
+        )
 
-        names = [name.lower() for name in (algorithms or sorted(ALGORITHM_FACTORIES))]
+        multiway = query.arity > 2
+        registry = MULTIWAY_FACTORIES if multiway else ALGORITHM_FACTORIES
+        names = [name.lower() for name in (algorithms or sorted(registry))]
+        if multiway:
+            # accept the display names EXPLAIN itself emits (BFHM-cascade,
+            # ISL-nway, ...) wherever the registry keys are accepted
+            names = [MULTIWAY_ALIASES.get(name, name) for name in names]
         # a plan is a pure function of (query, statistics, objective);
         # cache it until the statistics catalog sees an invalidation
         key = (
-            query.left, query.right, query.k, repr(query.function),
+            query.inputs, query.k, repr(query.function),
             objective, tuple(names),
         )
         cached = self._plan_cache.get(key)
         if cached is not None and cached[0] == self.catalog.version:
             return cached[1]
-        left = self.catalog.stats_for(query.left)
-        right = self.catalog.stats_for(query.right)
+        stats = self.catalog.stats_for_query(query)
 
         estimates = []
+        prefix = "_estimate_multi_" if multiway else "_estimate_"
         for name in names:
-            estimator = getattr(self, f"_estimate_{name}", None)
+            estimator = getattr(self, f"{prefix}{name}", None)
             if estimator is None:
                 raise PlanningError(f"no cost model for algorithm {name!r}")
-            estimates.append(estimator(query, left, right))
+            if multiway:
+                estimates.append(estimator(query, stats))
+            else:
+                estimates.append(estimator(query, stats[0], stats[1]))
 
         attribute = OBJECTIVES[objective]
         estimates.sort(key=lambda est: (getattr(est, attribute), est.algorithm))
+        if multiway:
+            labels = {
+                f"input{i} ({binding.display_name})": side
+                for i, (binding, side) in enumerate(zip(query.inputs, stats))
+            }
+        else:
+            labels = {"left": stats[0], "right": stats[1]}
         plan = QueryPlan(
             query=query,
             objective=objective,
             estimates=estimates,
-            statistics={"left": left, "right": right},
+            statistics=labels,
         )
         if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
@@ -500,10 +561,16 @@ class QueryPlanner:
 
     # -- ISL ---------------------------------------------------------------------
 
-    def _isl_batch_rows(self, stats: TableStatistics) -> int:
+    def _isl_batch_rows(
+        self, stats: TableStatistics, instance=None
+    ) -> int:
+        """One side's scanner batch under ``instance``'s tuning (default:
+        the two-way ISL algorithm; the n-way estimator passes the shared
+        builder so both paths price the same batch-sizing rule)."""
         from repro.core.isl import MIN_BATCH_ROWS
 
-        instance = self.engine.algorithm("isl")
+        if instance is None:
+            instance = self.engine.algorithm("isl")
         if instance.batch_rows is not None:
             return instance.batch_rows
         return max(MIN_BATCH_ROWS, int(stats.row_count * instance.batch_fraction))
@@ -524,8 +591,12 @@ class QueryPlanner:
         profiles = (_profile(left), _profile(right))
         batch = (self._isl_batch_rows(left), self._isl_batch_rows(right))
 
+        # the 2-D join profiles expose score-correlated join skew (high
+        # scorers joining fewer partners than average), which a uniform
+        # selectivity misses — the source of the LC Q1 depth underestimate
+        matcher = _JoinMatcher(left, right, profiles)
         consumed, batches = _simulate_hrjn(
-            profiles, query.function, query.k, batch, sel
+            profiles, query.function, query.k, batch, sel, matcher
         )
         cell_bytes = []
         for side, stats in enumerate((left, right)):
@@ -543,11 +614,12 @@ class QueryPlanner:
                     + stats.avg_join_value_bytes
                 )
 
+        # no overshoot term: the operator checks termination per tuple
+        # while draining a batch, so the scanner never ships beyond the
+        # batches the simulation already counts
         for side in (0, 1):
-            rounds = batches[side] + (ISL_OVERSHOOT_BATCHES if consumed[side] else 0)
-            tuples = min(
-                profiles[side].total, consumed[side] + ISL_OVERSHOOT_BATCHES * batch[side]
-            )
+            rounds = batches[side]
+            tuples = consumed[side]
             scanned_bytes = tuples * cell_bytes[side]
             ledger.server_read("index scan", scanned_bytes, tuples, sequential=True)
             for _ in range(rounds):
@@ -566,27 +638,36 @@ class QueryPlanner:
 
     # -- BFHM ---------------------------------------------------------------------
 
-    def _bfhm_config(
-        self, left: TableStatistics, right: TableStatistics
+    def _bfhm_config_from(
+        self, builder, stats: "tuple[TableStatistics, ...]"
     ) -> "tuple[int, int, float]":
-        """(num_buckets, m_bits, fp_rate) the BFHM instance would use."""
+        """(num_buckets, m_bits, fp_rate) a BFHM built by ``builder`` over
+        ``stats`` would use — built-index facts win, then the builder's
+        planned size, then the §7.1 heaviest-bucket formula."""
         from repro.sketches.bloom import single_hash_bit_count
 
-        instance = self.engine.algorithm("bfhm")
-        num_buckets = instance.builder.num_buckets
-        fp_rate = instance.builder.fp_rate
-        m_bits = instance.builder.m_bits
-        for stats in (left, right):
-            index = stats.index("bfhm")
+        num_buckets = builder.num_buckets
+        fp_rate = builder.fp_rate
+        m_bits = builder.m_bits
+        for side_stats in stats:
+            index = side_stats.index("bfhm")
             if isinstance(index, BFHMIndexStatistics) and index.built:
                 return (index.num_buckets, index.m_bits, fp_rate)
         if m_bits is None:
             heaviest = 1
-            for stats in (left, right):
-                counts = stats.bucket_counts()
+            for side_stats in stats:
+                counts = side_stats.bucket_counts()
                 heaviest = max(heaviest, max(counts) if counts else 1)
             m_bits = single_hash_bit_count(heaviest, fp_rate)
         return (num_buckets, m_bits, fp_rate)
+
+    def _bfhm_config(
+        self, left: TableStatistics, right: TableStatistics
+    ) -> "tuple[int, int, float]":
+        """(num_buckets, m_bits, fp_rate) the two-way BFHM would use."""
+        return self._bfhm_config_from(
+            self.engine.algorithm("bfhm").builder, (left, right)
+        )
 
     def _estimate_bfhm(
         self, query: RankJoinQuery, left: TableStatistics, right: TableStatistics
@@ -603,7 +684,6 @@ class QueryPlanner:
         incremental bucket and reverse-row traffic line by line.
         """
         ledger = self._ledger()
-        model = self.platform.cost_model
         sel = _join_selectivity(left, right)
         num_buckets, m_bits, _ = self._bfhm_config(left, right)
         profiles = (
@@ -616,8 +696,6 @@ class QueryPlanner:
             profiles, query.function, query.k, m_bits, sel, matcher
         )
 
-        index_stats = (left.index("bfhm"), right.index("bfhm"))
-
         # meta row read: one random point get per relation
         meta_bytes = 60.0 + num_buckets * 2.0
         for _ in (left, right):
@@ -627,42 +705,67 @@ class QueryPlanner:
         # per-side pricing facts shared by all rounds
         blobs_by_side = []
         reverse_shape = []
-        for side, stats in enumerate((left, right)):
-            index = index_stats[side]
-            blobs_by_side.append(
-                index.bucket_blobs
-                if isinstance(index, BFHMIndexStatistics) and index.built
-                else {}
-            )
-            if (
-                isinstance(index, BFHMIndexStatistics)
-                and index.built
-                and index.reverse_rows
-            ):
-                reverse_shape.append(
-                    (index.avg_reverse_row_bytes, index.avg_reverse_row_cells)
-                )
-            else:
-                row_cells = max(1.0, stats.row_count / max(1, m_bits))
-                reverse_shape.append((
-                    row_cells * (
-                        8.0 + 16.0 + len(stats.binding.signature)
-                        + stats.avg_row_key_bytes + stats.avg_join_value_bytes + 8.0
-                    ),
-                    row_cells,
-                ))
+        for stats in (left, right):
+            blobs, shape = self._bfhm_side_shape(stats, m_bits)
+            blobs_by_side.append(blobs)
+            reverse_shape.append(shape)
 
         # replayed rounds: round 0 is phase 1 + the initial phase 2; every
         # later round charges its incremental §5.3 repair traffic under a
         # per-round component, visible in the EXPLAIN breakdown
+        self._price_bfhm_rounds(
+            ledger, sim, profiles, blobs_by_side, reverse_shape, m_bits
+        )
+
+        notes = [
+            f"est. {sim.buckets_fetched} bucket fetches, "
+            f"{int(sim.reverse_rows[0] + sim.reverse_rows[1])} reverse rows",
+        ]
+        if sim.repair_rounds:
+            repair_rows = sum(
+                entry.reverse_rows[0] + entry.reverse_rows[1]
+                for entry in sim.rounds
+                if entry.round > 0
+            )
+            repair_buckets = sum(
+                len(entry.fetched[0]) + len(entry.fetched[1])
+                for entry in sim.rounds
+                if entry.round > 0
+            )
+            notes.append(
+                f"repair cascade: {sim.repair_rounds} rounds re-admitting "
+                f"{int(round(sim.readmitted_pairs))} pairs "
+                f"(+{repair_buckets} buckets, +{int(round(repair_rows))} "
+                "reverse rows)"
+            )
+        notes.append(self._index_note(left, "bfhm"))
+        return CostEstimate.from_ledger("BFHM", ledger, notes)
+
+    def _price_bfhm_rounds(
+        self,
+        ledger: CostLedger,
+        sim: "_BFHMSimulation",
+        profiles: "tuple[_SideProfile, _SideProfile]",
+        blobs_by_side: "list[dict]",
+        reverse_shape: "list[tuple[float, float]]",
+        m_bits: int,
+        prefix: str = "",
+    ) -> None:
+        """Charge one replayed BFHM run's rounds onto ``ledger``.
+
+        ``prefix`` namespaces the cost components (the cascade estimator
+        labels each stage ``s1 ``, ``s2 ``, ... so EXPLAIN shows per-stage
+        cost lines)."""
+        model = self.platform.cost_model
         for entry in sim.rounds:
             if entry.round == 0:
                 bucket_label, decode_label, reverse_label = (
-                    "bucket fetch", "blob decode", "reverse fetch"
+                    f"{prefix}bucket fetch", f"{prefix}blob decode",
+                    f"{prefix}reverse fetch",
                 )
             else:
                 bucket_label = decode_label = reverse_label = (
-                    f"repair r{entry.round}"
+                    f"{prefix}repair r{entry.round}"
                 )
             for side in (0, 1):
                 profile = profiles[side]
@@ -695,30 +798,6 @@ class QueryPlanner:
                         REQUEST_OVERHEAD_BYTES,
                         total_bytes / max(1, rpcs),
                     )
-
-        notes = [
-            f"est. {sim.buckets_fetched} bucket fetches, "
-            f"{int(sim.reverse_rows[0] + sim.reverse_rows[1])} reverse rows",
-        ]
-        if sim.repair_rounds:
-            repair_rows = sum(
-                entry.reverse_rows[0] + entry.reverse_rows[1]
-                for entry in sim.rounds
-                if entry.round > 0
-            )
-            repair_buckets = sum(
-                len(entry.fetched[0]) + len(entry.fetched[1])
-                for entry in sim.rounds
-                if entry.round > 0
-            )
-            notes.append(
-                f"repair cascade: {sim.repair_rounds} rounds re-admitting "
-                f"{int(round(sim.readmitted_pairs))} pairs "
-                f"(+{repair_buckets} buckets, +{int(round(repair_rows))} "
-                "reverse rows)"
-            )
-        notes.append(self._index_note(left, "bfhm"))
-        return CostEstimate.from_ledger("BFHM", ledger, notes)
 
     # -- IJLMR -------------------------------------------------------------------
 
@@ -960,6 +1039,262 @@ class QueryPlanner:
         ]
         return CostEstimate.from_ledger("DRJN", ledger, notes)
 
+    # -- n-way strategies (arity >= 3) -------------------------------------------
+
+    #: bucket resolution of the n-dimensional HRJN depth simulation — the
+    #: expected-results integral enumerates bucket combinations, so the
+    #: grid is coarsened to keep the sweep polynomial at any arity
+    MULTIWAY_SIM_BUCKETS = 20
+
+    def _multi_selectivity(self, stats: "list[TableStatistics]") -> float:
+        """P(n random tuples share one join value) under uniform keys."""
+        universe = max(max(s.distinct_join_values for s in stats), 1)
+        return (1.0 / universe) ** (len(stats) - 1)
+
+    def _estimate_multi_isl(
+        self, query: RankJoinQuery, stats: "list[TableStatistics]"
+    ) -> CostEstimate:
+        """N-way ISL: round-robin batched index scans feeding the n-way
+        HRJN operator (§3 applied to §4.2) — the 2-way depth simulation
+        generalized to n alternating cursors."""
+        ledger = self._ledger()
+        sel = self._multi_selectivity(stats)
+        profiles = [
+            _reproject_profile(_profile(s), self.MULTIWAY_SIM_BUCKETS)
+            for s in stats
+        ]
+        builder = self.engine.multiway_algorithm("isl")._builder
+        batch = [self._isl_batch_rows(s, builder) for s in stats]
+
+        consumed, batches = _simulate_hrjn_n(
+            profiles, query.function, query.k, batch, sel
+        )
+        for side, side_stats in enumerate(stats):
+            index = side_stats.index("isl")
+            if index.built and index.cells:
+                cell_bytes = index.avg_cell_bytes
+            else:
+                cell_bytes = (
+                    8.0 + 16.0 + len(side_stats.binding.signature)
+                    + side_stats.avg_row_key_bytes
+                    + side_stats.avg_join_value_bytes
+                )
+            rounds = batches[side]
+            tuples = consumed[side]
+            scanned_bytes = tuples * cell_bytes
+            ledger.server_read("index scan", scanned_bytes, tuples, sequential=True)
+            for _ in range(rounds):
+                ledger.rpc(
+                    "batch RPCs",
+                    RESPONSE_OVERHEAD_BYTES,
+                    RESPONSE_OVERHEAD_BYTES + scanned_bytes / max(1, rounds),
+                )
+
+        notes = [
+            "scan depth ≈ "
+            + "+".join(str(int(value)) for value in consumed)
+            + " tuples in "
+            + "+".join(str(value) for value in batches)
+            + " batches",
+            self._index_note(stats[0], "isl"),
+        ]
+        return CostEstimate.from_ledger("ISL", ledger, notes)
+
+    def _estimate_multi_hrjn(
+        self, query: RankJoinQuery, stats: "list[TableStatistics]"
+    ) -> CostEstimate:
+        """Index-free n-way HRJN pipeline: stream every base relation to
+        the coordinator (batched scans), sort, join in memory."""
+        from repro.core.hrjn_multi import MultiWayHRJNRankJoin
+
+        ledger = self._ledger()
+        caching = MultiWayHRJNRankJoin.SCAN_CACHING
+        total_rows = 0.0
+        for side_stats in stats:
+            ledger.server_read(
+                "base scan", side_stats.total_row_bytes,
+                side_stats.total_cells, sequential=True,
+            )
+            rounds = max(1, int(math.ceil(side_stats.row_count / caching)))
+            for _ in range(rounds):
+                ledger.rpc(
+                    "scan RPCs",
+                    RESPONSE_OVERHEAD_BYTES,
+                    RESPONSE_OVERHEAD_BYTES
+                    + side_stats.total_row_bytes / rounds,
+                )
+            total_rows += side_stats.row_count
+        ledger.cpu("coordinator sort", total_rows)
+
+        notes = [
+            f"index-free: streams {int(total_rows)} rows of "
+            f"{len(stats)} relations to the coordinator"
+        ]
+        return CostEstimate.from_ledger("HRJN", ledger, notes)
+
+    def _bfhm_config_multi(
+        self, stats: "list[TableStatistics]"
+    ) -> "tuple[int, int, float]":
+        """(num_buckets, m_bits, fp_rate) the cascade's stages would use."""
+        return self._bfhm_config_from(
+            self.engine.multiway_algorithm("bfhm")._binary.builder,
+            tuple(stats),
+        )
+
+    def _bfhm_side_shape(
+        self, side_stats: "TableStatistics", m_bits: int
+    ) -> "tuple[dict, tuple[float, float]]":
+        """(blob facts, reverse-row shape) of one indexed base relation —
+        the per-side pricing facts of :meth:`_price_bfhm_rounds`."""
+        index = side_stats.index("bfhm")
+        blobs = (
+            index.bucket_blobs
+            if isinstance(index, BFHMIndexStatistics) and index.built
+            else {}
+        )
+        if (
+            isinstance(index, BFHMIndexStatistics)
+            and index.built
+            and index.reverse_rows
+        ):
+            shape = (index.avg_reverse_row_bytes, index.avg_reverse_row_cells)
+        else:
+            row_cells = max(1.0, side_stats.row_count / max(1, m_bits))
+            shape = (
+                row_cells * (
+                    8.0 + 16.0 + len(side_stats.binding.signature)
+                    + side_stats.avg_row_key_bytes
+                    + side_stats.avg_join_value_bytes + 8.0
+                ),
+                row_cells,
+            )
+        return blobs, shape
+
+    def _estimate_multi_bfhm(
+        self, query: RankJoinQuery, stats: "list[TableStatistics]"
+    ) -> CostEstimate:
+        """Left-deep BFHM cascade: one binary cascade replay per stage,
+        feeding each stage's expected top-k' forward as an estimated
+        intermediate profile.  Every stage's traffic lands under ``sN``
+        cost components, so EXPLAIN shows the cascade stage by stage."""
+        from repro.core.bfhm.multi import stage_functions
+
+        ledger = self._ledger()
+        model = self.platform.cost_model
+        stages = stage_functions(query.function, query.arity)
+        num_buckets, m_bits, _ = self._bfhm_config_multi(stats)
+        k = query.k
+
+        left_profile = _bfhm_profile(stats[0], num_buckets)
+        left_shape: "tuple[dict, tuple[float, float]]" = self._bfhm_side_shape(
+            stats[0], m_bits
+        )
+        d_left = stats[0].distinct_join_values
+        intermediate_key_bytes = stats[0].avg_row_key_bytes
+        stage_notes = []
+
+        for stage, (function, upper) in enumerate(stages):
+            prefix = f"s{stage + 1} "
+            right_stats = stats[stage + 1]
+            right_profile = _bfhm_profile(right_stats, num_buckets)
+            profiles = (left_profile, right_profile)
+            matcher = (
+                _JoinMatcher(stats[0], right_stats, profiles)
+                if stage == 0
+                else None
+            )
+            sel = 1.0 / max(d_left, right_stats.distinct_join_values, 1)
+
+            # meta row reads of the stage's two sides
+            meta_bytes = 60.0 + num_buckets * 2.0
+            for _ in range(2):
+                ledger.server_read(f"{prefix}meta read", meta_bytes, 3,
+                                   sequential=False)
+                ledger.rpc(f"{prefix}meta read", REQUEST_OVERHEAD_BYTES,
+                           meta_bytes)
+
+            replay = _BFHMCascadeReplay(
+                profiles, function, k, m_bits, sel, matcher
+            )
+            sim = replay.run()
+            right_shape = self._bfhm_side_shape(right_stats, m_bits)
+            blobs_by_side = [left_shape[0], right_shape[0]]
+            reverse_shape = [left_shape[1], right_shape[1]]
+            self._price_bfhm_rounds(
+                ledger, sim, profiles, blobs_by_side, reverse_shape, m_bits,
+                prefix=prefix,
+            )
+
+            expected_results = sum(pair.true_weight for pair in replay.pairs)
+            stage_notes.append(
+                f"s{stage + 1}: {sim.buckets_fetched} buckets, "
+                f"{int(sim.reverse_rows[0] + sim.reverse_rows[1])} reverse "
+                f"rows, ≈{int(expected_results)} results"
+            )
+
+            if stage == len(stages) - 1:
+                break
+
+            # materialize the expected intermediate top-k' and build its
+            # BFHM — billed to the query, unlike base index builds
+            intermediate_key_bytes += 1.0 + right_stats.avg_row_key_bytes
+            n_int = min(float(k), max(expected_results, 1.0))
+            norm = upper if upper > 0 else 1.0
+            left_profile = _intermediate_profile(
+                replay.pairs, k, norm, num_buckets
+            )
+            row_bytes = (
+                8.0 + intermediate_key_bytes
+                + right_stats.avg_join_value_bytes + 8.0
+            )
+            payload = n_int * row_bytes
+            build_prefix = f"s{stage + 2} "
+            ledger.network(
+                f"{build_prefix}temp write", payload * model.hdfs_replication
+            )
+            ledger.add_time(f"{build_prefix}temp write", model.rpc_latency_s)
+            # index build: one map/reduce pass over the temp relation plus
+            # the blob + reverse rows it writes back
+            ledger.add_time(
+                f"{build_prefix}index build",
+                model.mr_job_startup_s + model.mr_task_startup_s,
+            )
+            ledger.server_read(
+                f"{build_prefix}index build", payload, n_int, sequential=True
+            )
+            blob_count = max(1, len(left_profile.counts))
+            index_bytes = (
+                payload
+                + blob_count * _golomb_blob_bytes(
+                    n_int / blob_count, m_bits
+                )
+            )
+            ledger.network(
+                f"{build_prefix}index build",
+                index_bytes * model.hdfs_replication,
+            )
+            row_cells = max(1.0, n_int / max(1, m_bits))
+            left_shape = (
+                {},
+                (
+                    row_cells * (8.0 + 16.0 + 24.0 + intermediate_key_bytes
+                                 + right_stats.avg_join_value_bytes + 8.0),
+                    row_cells,
+                ),
+            )
+            d_left = int(min(
+                max(d_left, 1),
+                max(right_stats.distinct_join_values, 1),
+                max(n_int, 1.0),
+            ))
+
+        notes = [
+            f"left-deep cascade, {len(stages)} binary stages",
+            *stage_notes,
+            self._index_note(stats[0], "bfhm"),
+        ]
+        return CostEstimate.from_ledger("BFHM-cascade", ledger, notes)
+
 
 # ---------------------------------------------------------------------------
 # analytic simulations
@@ -972,11 +1307,15 @@ def _simulate_hrjn(
     k: int,
     batch: "tuple[int, int]",
     selectivity: float,
+    matcher: "_JoinMatcher | None" = None,
 ) -> "tuple[list[float], list[int]]":
     """Expected HRJN scan depth under alternating batched pulls.
 
     Returns ``(tuples consumed per side, batches per side)`` at the point
-    the threshold test is expected to fire.
+    the threshold test is expected to fire.  When a :class:`_JoinMatcher`
+    is given, per-bucket-pair join expectations replace the uniform
+    ``selectivity`` constant, so score-correlated join skew deepens (or
+    shallows) the simulated scan exactly as it does the real one.
     """
     consumed = [0.0, 0.0]
     batches = [0, 0]
@@ -985,55 +1324,68 @@ def _simulate_hrjn(
         return consumed, batches
 
     def current_score(side: int) -> float:
-        """Score at the current scan depth (interpolated in-bucket)."""
-        profile = profiles[side]
-        remaining = consumed[side]
-        for index in range(len(profile.counts)):
-            count = profile.counts[index]
-            if remaining <= count:
-                fraction = remaining / count if count else 1.0
-                return profile.maxes[index] - fraction * (
-                    profile.maxes[index] - profile.mins[index]
-                )
-            remaining -= count
-        return profile.mins[-1]
+        return profiles[side].score_at_depth(consumed[side])
 
     def seen_counts(side: int) -> "list[float]":
-        profile = profiles[side]
-        remaining = consumed[side]
-        seen = []
-        for count in profile.counts:
-            take = min(count, remaining)
-            seen.append(take)
-            remaining -= take
-            if remaining <= 0:
-                break
-        return seen
+        return profiles[side].seen_at_depth(consumed[side])
 
     def results_above(threshold: float) -> float:
-        """Expected joined results among seen tuples scoring >= threshold."""
+        """Expected joined results among seen tuples scoring >= threshold.
+
+        Each seen bucket pair contributes its expected matches times the
+        fraction of the pair's seen score span above the threshold — an
+        all-or-nothing midpoint gate makes the expectation jump in coarse
+        steps (staying exactly 0 for whole rounds at k=1), while the real
+        operator's realized results arrive continuously."""
         seen_l = seen_counts(0)
         seen_r = seen_counts(1)
         if not seen_l or not seen_r:
             return 0.0
-        cum_r = [0.0]
-        for value in seen_r:
-            cum_r.append(cum_r[-1] + value)
         total = 0.0
-        j_limit = len(seen_r)  # two-pointer: shrinks as mid_l decreases
+        left_profile, right_profile = profiles
         for i in range(len(seen_l)):
             if not seen_l[i]:
                 continue
-            mid_l = profiles[0].mid(i)
-            while j_limit > 0 and function(
-                mid_l, profiles[1].mid(j_limit - 1)
-            ) < threshold:
-                j_limit -= 1
-            if j_limit == 0:
-                break
-            total += seen_l[i] * cum_r[j_limit]
-        return total * selectivity
+            hi_l = left_profile.maxes[i]
+            if function(hi_l, right_profile.top_score) < threshold:
+                break  # deeper left buckets score even lower
+            frac_l = seen_l[i] / left_profile.counts[i]
+            # the seen portion of a frontier bucket occupies its upper
+            # score range: [hi - frac * width, hi]
+            lo_l = hi_l - frac_l * (hi_l - left_profile.mins[i])
+            for j in range(len(seen_r)):
+                if not seen_r[j]:
+                    continue
+                hi_r = right_profile.maxes[j]
+                hi = function(hi_l, hi_r)
+                if hi < threshold:
+                    break  # descending scores: later right buckets fail too
+                frac_r = seen_r[j] / right_profile.counts[j]
+                lo = function(
+                    lo_l, hi_r - frac_r * (hi_r - right_profile.mins[j])
+                )
+                if lo >= threshold or hi <= lo:
+                    above = 1.0
+                else:
+                    above = (hi - threshold) / (hi - lo)
+                matched = matcher(i, j) if matcher is not None else None
+                if matched is None:
+                    matches = selectivity * seen_l[i] * seen_r[j]
+                else:
+                    # scale the full-bucket expectation by the fraction of
+                    # each bucket actually seen at this scan depth
+                    matches = matched[0] * frac_l * frac_r
+                total += matches * above
+        return total
 
+    # execution branches on the REALIZED count of results above the
+    # threshold reaching k; the replay tracks its expectation, whose
+    # realized counterpart (Poisson-like) has median ≈ mean - 1/3, and the
+    # expectation model itself runs ~1% of k low — so termination is where
+    # the (bias-corrected) mean crosses k, not the raw mean
+    target = max(
+        k * (1.0 - HRJN_RESULTS_BIAS) - HRJN_MEDIAN_CORRECTION, 1e-9
+    )
     side = 0
     while True:
         exhausted = [consumed[s] >= totals[s] for s in (0, 1)]
@@ -1047,10 +1399,149 @@ def _simulate_hrjn(
             function(profiles[0].top_score, current_score(1)),
             function(current_score(0), profiles[1].top_score),
         )
-        if results_above(threshold) >= k:
+        if results_above(threshold) >= target:
             break
         side = 1 - side
     return consumed, batches
+
+
+def _simulate_hrjn_n(
+    profiles: "list[_SideProfile]",
+    function: AggregateFunction,
+    k: int,
+    batch: "list[int]",
+    selectivity: float,
+) -> "tuple[list[float], list[int]]":
+    """Expected n-way HRJN scan depth under round-robin batched pulls.
+
+    The 2-way simulation generalized: after each batch the generalized
+    threshold ``S = max_i f(ŝ_1, ..., s̄_i, ..., ŝ_n)`` is recomputed and
+    the expected number of joined combinations above it is read off the
+    bucket grids (monotone pruning keeps the enumeration shallow).
+    """
+    n = len(profiles)
+    consumed = [0.0] * n
+    batches = [0] * n
+    totals = [profile.total for profile in profiles]
+    if any(total == 0 for total in totals):
+        return consumed, batches
+
+    def current_score(side: int) -> float:
+        return profiles[side].score_at_depth(consumed[side])
+
+    def seen_counts(side: int) -> "list[float]":
+        return profiles[side].seen_at_depth(consumed[side])
+
+    tops = [profile.top_score for profile in profiles]
+
+    def results_above(threshold: float) -> float:
+        """Expected joined combinations among seen tuples above the
+        threshold — the 2-way span-smeared model in n dimensions: each
+        bucket combination contributes the fraction of its seen score
+        span above the threshold, not an all-or-nothing midpoint gate."""
+        seen = [seen_counts(side) for side in range(n)]
+        if any(not side_seen for side_seen in seen):
+            return 0.0
+        total = 0.0
+
+        def recurse(
+            side: int, his: "list[float]", los: "list[float]", product: float
+        ) -> None:
+            nonlocal total
+            profile = profiles[side]
+            for index in range(len(seen[side])):
+                count = seen[side][index]
+                if not count:
+                    continue
+                hi_b = profile.maxes[index]
+                # buckets descend in score: once even completing with every
+                # remaining side's top cannot reach the threshold, stop
+                if function(*his, hi_b, *tops[side + 1:]) < threshold:
+                    break
+                fraction = count / profile.counts[index]
+                lo_b = hi_b - fraction * (hi_b - profile.mins[index])
+                if side == n - 1:
+                    hi = function(*his, hi_b)
+                    lo = function(*los, lo_b)
+                    if lo >= threshold or hi <= lo:
+                        above = 1.0
+                    else:
+                        above = (hi - threshold) / (hi - lo)
+                    total += product * count * above
+                else:
+                    recurse(side + 1, his + [hi_b], los + [lo_b],
+                            product * count)
+
+        recurse(0, [], [], 1.0)
+        return total * selectivity
+
+    # same realization-corrected target as the 2-way replay
+    target = max(
+        k * (1.0 - HRJN_RESULTS_BIAS) - HRJN_MEDIAN_CORRECTION, 1e-9
+    )
+    side = 0
+    while True:
+        exhausted = [consumed[s] >= totals[s] for s in range(n)]
+        if all(exhausted):
+            break
+        while exhausted[side]:
+            side = (side + 1) % n
+        consumed[side] = min(totals[side], consumed[side] + batch[side])
+        batches[side] += 1
+        threshold = max(
+            function(*[
+                current_score(s) if s == i else tops[s] for s in range(n)
+            ])
+            for i in range(n)
+        )
+        if results_above(threshold) >= target:
+            break
+        side = (side + 1) % n
+    return consumed, batches
+
+
+def _intermediate_profile(
+    pairs: "list[_SimPair]", k: int, norm: float, num_buckets: int
+) -> _SideProfile:
+    """Expected score profile of a cascade stage's materialized top-k'.
+
+    Takes the replay's bucket-pair join expectations highest-score first
+    until ``k`` expected tuples accumulate, smearing each pair's mass
+    uniformly over its attainable score span, normalized by ``norm`` onto
+    the index's [0, 1] bucket grid.
+    """
+    ordered = sorted(pairs, key=lambda pair: -pair.max_score)
+    cells: "dict[int, list[float]]" = {}
+    remaining = float(k)
+    for pair in ordered:
+        if remaining <= 0:
+            break
+        weight = min(pair.true_weight, remaining)
+        if weight <= 0:
+            continue
+        remaining -= weight
+        lo = max(0.0, min(1.0, pair.min_score / norm))
+        hi = max(lo, min(1.0, pair.max_score / norm))
+        first = score_to_bucket(hi, num_buckets)
+        last = score_to_bucket(lo, num_buckets)
+        span = max(1, last - first + 1)
+        for bucket in range(first, last + 1):
+            lower, upper = bucket_bounds(bucket, num_buckets)
+            cell = cells.setdefault(
+                bucket, [0.0, float("inf"), float("-inf")]
+            )
+            cell[0] += weight / span
+            cell[1] = min(cell[1], max(lo, lower))
+            cell[2] = max(cell[2], min(hi, upper))
+    buckets = sorted(cells)
+    return _SideProfile(
+        buckets=buckets,
+        counts=[cells[b][0] for b in buckets],
+        mins=[cells[b][1] for b in buckets],
+        maxes=[cells[b][2] for b in buckets],
+        num_buckets=num_buckets,
+        total=sum(cells[b][0] for b in buckets),
+    )
 
 
 @dataclass

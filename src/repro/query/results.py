@@ -5,7 +5,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.metrics import MetricsSnapshot
+from repro.common.multiway import MultiJoinTuple
 from repro.common.types import JoinTuple
+
+
+def _score_multiset_recall(want_scores, got_scores) -> float:
+    """Score-multiset recall — rank joins may break ties arbitrarily, so
+    recall compares the multiset of scores (what the paper's 100%-recall
+    claim is about), not row identities."""
+    want = sorted(want_scores, reverse=True)
+    if not want:
+        return 1.0
+    got = sorted(got_scores, reverse=True)
+    matched = i = j = 0
+    while i < len(want) and j < len(got):
+        if abs(want[i] - got[j]) <= 1e-9:
+            matched += 1
+            i += 1
+            j += 1
+        elif got[j] > want[i]:
+            j += 1
+        else:
+            i += 1
+    return matched / len(want)
 
 
 @dataclass
@@ -29,25 +51,28 @@ class RankJoinResult:
         return {t.as_pair() for t in self.tuples}
 
     def recall_against(self, truth: "list[JoinTuple]") -> float:
-        """Score-multiset recall against a ground-truth top-k list.
+        """Score-multiset recall against a ground-truth top-k list."""
+        return _score_multiset_recall(
+            (t.score for t in truth), (t.score for t in self.tuples)
+        )
 
-        Rank joins may break score ties arbitrarily, so recall compares the
-        multiset of scores (what the paper's 100%-recall claim is about),
-        not row identities.
-        """
-        if not truth:
-            return 1.0
-        want = sorted((t.score for t in truth), reverse=True)
-        got = sorted((t.score for t in self.tuples), reverse=True)
-        matched = 0
-        i = j = 0
-        while i < len(want) and j < len(got):
-            if abs(want[i] - got[j]) <= 1e-9:
-                matched += 1
-                i += 1
-                j += 1
-            elif got[j] > want[i]:
-                j += 1
-            else:
-                i += 1
-        return matched / len(want)
+
+@dataclass
+class MultiRankJoinResult:
+    """N-way result with its measured costs (the arity ≥ 3 analogue of
+    :class:`RankJoinResult`, carrying :class:`MultiJoinTuple` rows)."""
+
+    algorithm: str
+    k: int
+    tuples: list[MultiJoinTuple]
+    metrics: MetricsSnapshot
+    details: dict[str, float] = field(default_factory=dict)
+
+    def scores(self) -> list[float]:
+        return [t.score for t in self.tuples]
+
+    def recall_against(self, truth: "list[MultiJoinTuple]") -> float:
+        """Score-multiset recall against a ground-truth top-k list."""
+        return _score_multiset_recall(
+            (t.score for t in truth), (t.score for t in self.tuples)
+        )

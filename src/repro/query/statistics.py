@@ -417,6 +417,13 @@ class StatisticsCatalog:
             self.gather_count += 1
         return self._cache[key]
 
+    def stats_for_query(self, query) -> "list[TableStatistics]":
+        """Per-input statistics of an n-ary query, in input order.
+
+        The n-way planner paths price every relation of the join, so
+        statistics are gathered (and cached) for each bound input."""
+        return [self.stats_for(binding) for binding in query.inputs]
+
     def invalidate(self, table: str) -> int:
         """Drop cached statistics over base table ``table``; returns the
         number of entries dropped.  Index tables fan in through their base

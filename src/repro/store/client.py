@@ -187,8 +187,21 @@ class HTable:
         )
         cells: list[Cell] = []
         if delete.family is None:
-            # whole-row delete: tombstone every existing column of the row
-            existing = self.table.read_row(delete.row)
+            # whole-row delete: tombstone every existing column of the row.
+            # Discovering those columns is a real data-path read (a point
+            # get of the row), so it is charged exactly like HTable.get —
+            # reading through the backing table would silently bypass the
+            # meter and understate delete-heavy workloads
+            region = self.table.region_for(delete.row)
+            existing = region.read_row(delete.row, None)
+            self.ctx.charge_server_read(
+                existing.serialized_size(), max(len(existing), 1),
+                sequential=False,
+            )
+            self.ctx.charge_rpc(
+                REQUEST_OVERHEAD_BYTES + len(delete.row),
+                existing.serialized_size(),
+            )
             if existing.empty:
                 return
             for cell in existing.cells:

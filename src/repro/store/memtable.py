@@ -53,6 +53,17 @@ class MemTable:
         for cell in cells:
             self.add(cell)
 
+    def drop_family(self, family: str) -> None:
+        """Discard every cell of ``family`` (administrative schema drop).
+
+        Rebinds the cell list (like :meth:`_ensure_sorted`) so open range
+        iterators keep reading the pre-drop snapshot."""
+        self._cells = [cell for cell in self._cells if cell.family != family]
+        self._by_row = {}
+        for cell in self._cells:
+            self._by_row.setdefault(cell.row, []).append(cell)
+        self.byte_size = sum(cell.serialized_size() for cell in self._cells)
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             # rebind rather than sort in place: live range iterators hold a

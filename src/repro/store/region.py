@@ -117,6 +117,20 @@ class Region:
             return
         self.sstables = [compact(self.sstables, drop_deletes=major)]
 
+    def drop_family(self, family: str) -> None:
+        """Physically discard every cell of ``family`` (memtable, WAL, and
+        segments) — the per-region half of a schema-level family drop."""
+        self.memtable.drop_family(family)
+        self.wal.drop_family(family)
+        rebuilt = []
+        for sstable in self.sstables:
+            kept = [cell for cell in sstable.cells() if cell.family != family]
+            if len(kept) == len(sstable):
+                rebuilt.append(sstable)
+            elif kept:
+                rebuilt.append(SSTable(kept, presorted=True))
+        self.sstables = rebuilt
+
     # -- read path ------------------------------------------------------------
 
     def _raw_cells_for_row(self, row: str) -> list[Cell]:

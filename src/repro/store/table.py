@@ -58,6 +58,13 @@ class StoreTable:
         """Online schema change: add a column family."""
         self.families.add(family)
 
+    def drop_family(self, family: str) -> None:
+        """Online schema change: drop a column family and its data (the
+        HBase admin ``deleteColumnFamily`` analogue, unmetered)."""
+        self.families.discard(family)
+        for region in self.regions:
+            region.drop_family(family)
+
     # -- routing -------------------------------------------------------------
 
     def region_for(self, row: str) -> Region:

@@ -47,3 +47,19 @@ class WriteAheadLog:
     def replay(self) -> list[Cell]:
         """Cells that would be recovered after a crash (for tests)."""
         return list(self._entries)
+
+    def drop_family(self, family: str) -> None:
+        """Discard unflushed entries of ``family`` (administrative schema
+        drop) so a crash replay cannot resurrect dropped data."""
+        kept_before_marker = sum(
+            1
+            for cell in self._entries[: self._sync_marker]
+            if cell.family != family
+        )
+        self._entries = [
+            cell for cell in self._entries if cell.family != family
+        ]
+        self._sync_marker = kept_before_marker
+        self.byte_size = sum(
+            cell.serialized_size() for cell in self._entries
+        )

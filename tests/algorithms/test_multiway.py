@@ -6,13 +6,26 @@ from hypothesis import strategies as st
 
 from repro.bench.harness import build_setup
 from repro.cluster.costmodel import EC2_PROFILE
-from repro.common.functions import SumFunction
+from repro.common.functions import (
+    MaxFunction,
+    MinFunction,
+    ProductFunction,
+    SumFunction,
+    WeightedSumFunction,
+)
 from repro.common.multiway import MultiJoinTuple, combine_rows
 from repro.common.serialization import encode_float, encode_str
 from repro.common.types import ScoredRow
-from repro.core.hrjn_multi import MultiWayHRJN, hrjn_join_multi
+from repro.core.bfhm.multi import BFHMCascadeRankJoin, stage_functions
+from repro.core.hrjn_multi import (
+    MultiWayHRJN,
+    MultiWayHRJNRankJoin,
+    hrjn_join_multi,
+)
 from repro.core.isl_multi import MultiRankJoinQuery, MultiWayISLRankJoin
 from repro.errors import QueryError
+from repro.platform import Platform
+from repro.query.spec import RankJoinQuery
 from repro.relational.binding import RelationBinding
 from repro.relational.multiway import full_join_multi, naive_rank_join_multi
 from repro.store.client import Put
@@ -184,3 +197,338 @@ class TestMultiWayISL:
                  RelationBinding("b", join_column="j", score_column="s")],
                 "sum", 0,
             )
+
+
+# ---------------------------------------------------------------------------
+# n-way correctness: operators vs the naive ground truth (arities 2-4)
+# ---------------------------------------------------------------------------
+
+
+def _make_relations(arity: int, shape: str) -> "list[list[ScoredRow]]":
+    """Deterministic relation sets exercising ties, empty overlaps, and
+    empty-string join values alongside the generic random case."""
+    import random
+
+    rng = random.Random(100 + arity)
+    values = [f"v{i}" for i in range(6)]
+    if shape == "random":
+        return [
+            rows(
+                [(rng.choice(values), round(rng.uniform(0.01, 1.0), 6))
+                 for _ in range(14)],
+                prefix=f"r{side}_",
+            )
+            for side in range(arity)
+        ]
+    if shape == "ties":
+        # many identical scores and repeated join values: top-k boundaries
+        # fall inside tie groups on every side
+        return [
+            rows(
+                [(values[i % 3], (0.75 if i % 2 else 0.5)) for i in range(10)],
+                prefix=f"t{side}_",
+            )
+            for side in range(arity)
+        ]
+    if shape == "empty-overlap":
+        # the last relation shares no join values: the n-way join is empty
+        relations = [
+            rows(
+                [(rng.choice(values), round(rng.uniform(0.1, 0.9), 6))
+                 for _ in range(8)],
+                prefix=f"e{side}_",
+            )
+            for side in range(arity - 1)
+        ]
+        relations.append(
+            rows([("nowhere", 0.9), ("also-nowhere", 0.3)], prefix="last_")
+        )
+        return relations
+    if shape == "empty-string-values":
+        # "" is a legitimate join value and must join like any other
+        return [
+            rows([("", 0.9), (values[0], 0.6), ("", 0.2)], prefix=f"s{side}_")
+            for side in range(arity)
+        ]
+    raise AssertionError(shape)
+
+
+SHAPES = ["random", "ties", "empty-overlap", "empty-string-values"]
+
+
+def _load_tables(platform: Platform, relations) -> "list[RelationBinding]":
+    bindings = []
+    for index, relation in enumerate(relations):
+        name = f"rel{index}"
+        htable = platform.store.create_table(name, {"d"})
+        for row in relation:
+            htable.put(
+                Put(row.row_key)
+                .add("d", "j", encode_str(row.join_value))
+                .add("d", "s", encode_float(row.score))
+            )
+        htable.flush()
+        bindings.append(
+            RelationBinding(name, join_column="j", score_column="s",
+                            alias=f"R{index}")
+        )
+    return bindings
+
+
+class TestNWayCorrectness:
+    """Cross-check the n-way operators against naive_rank_join_multi."""
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_hrjn_matches_naive(self, arity, shape):
+        relations = _make_relations(arity, shape)
+        function = SumFunction()
+        for k in (1, 5):
+            truth = naive_rank_join_multi(relations, function, k)
+            results, _ = hrjn_join_multi(relations, function, k)
+            assert [round(t.score, 9) for t in results] == [
+                round(t.score, 9) for t in truth
+            ], (arity, shape, k)
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_bfhm_cascade_matches_naive(self, arity, shape):
+        relations = _make_relations(arity, shape)
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, relations)
+        function = SumFunction()
+        k = 5
+        truth = naive_rank_join_multi(relations, function, k)
+        algorithm = BFHMCascadeRankJoin(platform)
+        result = algorithm.execute(
+            RankJoinQuery(inputs=tuple(bindings), function=function, k=k)
+        )
+        assert result.recall_against(truth) == 1.0, (arity, shape)
+        assert [round(t.score, 9) for t in result.tuples] == [
+            round(t.score, 9) for t in truth
+        ], (arity, shape)
+
+    @pytest.mark.parametrize("function", [
+        ProductFunction(), MaxFunction(), MinFunction(),
+        WeightedSumFunction([0.5, 1.0, 2.0]),
+    ])
+    def test_bfhm_cascade_other_functions(self, function):
+        relations = _make_relations(3, "random")
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, relations)
+        truth = naive_rank_join_multi(relations, function, 4)
+        algorithm = BFHMCascadeRankJoin(platform)
+        result = algorithm.execute(
+            RankJoinQuery(inputs=tuple(bindings), function=function, k=4)
+        )
+        assert result.recall_against(truth) == 1.0
+        assert result.scores() == pytest.approx([t.score for t in truth])
+
+    def test_hrjn_pipeline_matches_naive(self):
+        relations = _make_relations(3, "random")
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, relations)
+        function = SumFunction()
+        truth = naive_rank_join_multi(relations, function, 5)
+        algorithm = MultiWayHRJNRankJoin(platform)
+        result = algorithm.execute(
+            RankJoinQuery(inputs=tuple(bindings), function=function, k=5)
+        )
+        assert result.recall_against(truth) == 1.0
+        assert result.metrics.kv_reads > 0  # the scans are metered
+
+    def test_cascade_repair_loop_expands_truncated_stages(self):
+        """A pair pruned from an intermediate top-k' must be recovered
+        when its completion with a later relation beats the final top-k:
+        R1⋈R2 ranks (a) above (b), but only (b) has a huge R3 partner."""
+        r1 = rows([("a", 0.9), ("b", 0.8)], "x")
+        r2 = rows([("a", 0.9), ("b", 0.8)], "y")
+        r3 = rows([("b", 1.0), ("a", 0.001)], "z")
+        # partials: a = 1.8 > b = 1.6, so a truncated stage-1 top-1 keeps
+        # only (a); totals: b = 2.6 > a = 1.801, so the final winner is the
+        # pruned pair — only the repair loop can recover it
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, [r1, r2, r3])
+        function = SumFunction()
+        truth = naive_rank_join_multi([r1, r2, r3], function, 1)
+        assert truth[0].join_value == "b"
+        algorithm = BFHMCascadeRankJoin(platform)
+        result = algorithm.execute(
+            RankJoinQuery(inputs=tuple(bindings), function=function, k=1)
+        )
+        assert result.scores() == pytest.approx([t.score for t in truth])
+        assert result.recall_against(truth) == 1.0
+        assert result.details["cascade_rounds"] >= 1
+
+
+class TestNWayGuards:
+    def test_binary_algorithms_reject_higher_arity(self):
+        """A two-way algorithm must not silently join only the first two
+        inputs of an n-ary query (direct use bypasses engine dispatch)."""
+        from repro.core.bfhm.algorithm import BFHMRankJoin
+
+        relations = _make_relations(3, "random")
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, relations)
+        query = RankJoinQuery(inputs=tuple(bindings),
+                              function=SumFunction(), k=3)
+        with pytest.raises(QueryError):
+            BFHMRankJoin(platform).execute(query)
+
+    def test_cascade_cleans_up_temp_state(self):
+        """Temp tables, build reports, and update-manager metas of the
+        materialized intermediates must not accumulate across queries."""
+        relations = _make_relations(3, "random")
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, relations)
+        algorithm = BFHMCascadeRankJoin(platform)
+        query = RankJoinQuery(inputs=tuple(bindings),
+                              function=SumFunction(), k=3)
+        for _ in range(2):
+            algorithm.execute(query)
+        leaked_tables = [
+            name for name in platform.store.table_names()
+            if name.startswith("bfhm_cascade_tmp_")
+        ]
+        assert leaked_tables == []
+        manager = algorithm._binary.update_manager
+        assert not [
+            key for key in manager._metas if key.startswith("bfhm_cascade_tmp_")
+        ]
+        assert not [
+            key for key in algorithm._binary._build_reports
+            if key.startswith("bfhm_cascade_tmp_")
+        ]
+        # the intermediates' BFHM families (blob/reverse/meta rows in the
+        # shared index table) must be physically dropped too
+        from repro.core.indexes import BFHM_TABLE
+
+        backing = platform.store.backing(BFHM_TABLE)
+        assert not [
+            family for family in backing.families
+            if family.startswith("bfhm_cascade_tmp_")
+        ]
+        for row in backing.all_rows():
+            assert not [
+                cell for cell in row
+                if cell.family.startswith("bfhm_cascade_tmp_")
+            ], row.row
+
+    def test_cascade_handles_separator_in_row_keys(self):
+        """Base row keys containing the composition separator must not
+        collide in the intermediate expansion."""
+        r1 = [ScoredRow("x", "a", 0.9), ScoredRow("x|y", "a", 0.8)]
+        r2 = [ScoredRow("y|z", "a", 0.7), ScoredRow("z", "a", 0.6)]
+        r3 = [ScoredRow("w", "a", 0.5)]
+        platform = Platform(EC2_PROFILE)
+        bindings = _load_tables(platform, [r1, r2, r3])
+        function = SumFunction()
+        truth = naive_rank_join_multi([r1, r2, r3], function, 4)
+        algorithm = BFHMCascadeRankJoin(platform)
+        result = algorithm.execute(
+            RankJoinQuery(inputs=tuple(bindings), function=function, k=4)
+        )
+        assert result.scores() == pytest.approx([t.score for t in truth])
+        # each result's component keys reconstruct the original rows
+        keysets = {t.keys for t in result.tuples}
+        assert ("x", "y|z", "w") in keysets
+        assert ("x|y", "z", "w") in keysets
+
+    def test_ambiguous_positional_bindings_rejected(self):
+        bindings = [
+            RelationBinding(f"t{i}", join_column="j", score_column="s")
+            for i in range(3)
+        ]
+        with pytest.raises(TypeError):
+            RankJoinQuery(bindings[0], bindings[1], bindings[2],
+                          SumFunction(), 1)
+
+
+class TestCascadeStageAlgebra:
+    """stage_functions must decompose exactly: composing the per-stage
+    binary aggregates (with normalization) reproduces the n-ary score."""
+
+    @pytest.mark.parametrize("arity", [2, 3, 4, 5])
+    @pytest.mark.parametrize("function", [
+        SumFunction(), ProductFunction(), MaxFunction(), MinFunction(),
+    ])
+    def test_composition_identity(self, arity, function):
+        import random
+
+        rng = random.Random(7)
+        fn = function
+        stages = stage_functions(fn, arity)
+        for _ in range(25):
+            scores = [rng.uniform(0.0, 1.0) for _ in range(arity)]
+            partial = scores[0]
+            for j, (stage_fn, _) in enumerate(stages):
+                if j == 0:
+                    stored = partial
+                else:
+                    upper = stages[j - 1][1]
+                    stored = partial / (upper if upper > 0 else 1.0)
+                partial = stage_fn(stored, scores[j + 1])
+            assert partial == pytest.approx(fn.combine(scores), abs=1e-9)
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_weighted_sum_composition(self, arity):
+        import random
+
+        rng = random.Random(11)
+        weights = [rng.uniform(0.0, 2.0) for _ in range(arity)]
+        fn = WeightedSumFunction(weights)
+        stages = stage_functions(fn, arity)
+        for _ in range(25):
+            scores = [rng.uniform(0.0, 1.0) for _ in range(arity)]
+            partial = scores[0]
+            for j, (stage_fn, _) in enumerate(stages):
+                if j == 0:
+                    stored = partial
+                else:
+                    upper = stages[j - 1][1]
+                    stored = partial / (upper if upper > 0 else 1.0)
+                partial = stage_fn(stored, scores[j + 1])
+            assert partial == pytest.approx(fn.combine(scores), abs=1e-9)
+
+    def test_undecomposable_function_rejected(self):
+        from repro.common.functions import AggregateFunction
+
+        class Opaque(AggregateFunction):
+            name = "opaque"
+
+            def combine(self, scores):
+                return min(1.0, sum(scores))
+
+        with pytest.raises(QueryError):
+            stage_functions(Opaque(), 3)
+
+
+class TestGeneralizedThresholdBound:
+    """The n-way threshold S = max_i f(tops with slot i at the frontier)
+    upper-bounds every join tuple produced after the moment S was read."""
+
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_threshold_dominates_future_results(self, arity):
+        relations = [
+            sorted(relation, key=lambda r: (-r.score, r.row_key))
+            for relation in _make_relations(arity, "random")
+        ]
+        function = SumFunction()
+        operator = MultiWayHRJN(arity, function, k=3)
+        positions = [0] * arity
+        log = []  # (threshold at time t, scores produced after t)
+        side = 0
+        while any(positions[s] < len(relations[s]) for s in range(arity)):
+            while positions[side] >= len(relations[side]):
+                side = (side + 1) % arity
+            produced = operator.add(side, relations[side][positions[side]])
+            positions[side] += 1
+            threshold = operator.threshold()
+            for entry in log:
+                entry[1].extend(t.score for t in produced)
+            if threshold is not None:
+                log.append((threshold, []))
+            side = (side + 1) % arity
+        for threshold, later_scores in log:
+            for score in later_scores:
+                assert score <= threshold + 1e-9

@@ -1,0 +1,1 @@
+"""Package marker: keeps pytest module names unique across test trees."""

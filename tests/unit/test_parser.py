@@ -101,6 +101,72 @@ class TestHappyPath:
         assert query.left.family == "cf"
 
 
+class TestNWay:
+    def test_three_way_sum(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y, c Z "
+            "WHERE X.j = Y.j AND Y.j = Z.j "
+            "ORDER BY X.s + Y.s + Z.s STOP AFTER 5"
+        )
+        assert query.arity == 3
+        assert [b.table for b in query.inputs] == ["a", "b", "c"]
+        assert all(b.join_column == "j" for b in query.inputs)
+        assert isinstance(query.function, SumFunction)
+
+    def test_four_way_product(self):
+        query = parse_rank_join(
+            "SELECT * FROM a W, b X, c Y, d Z "
+            "WHERE W.j = X.j AND X.j = Y.j AND Y.j = Z.j "
+            "ORDER BY W.s * X.s * Y.s * Z.s STOP AFTER 2"
+        )
+        assert query.arity == 4
+        assert isinstance(query.function, ProductFunction)
+
+    def test_join_conditions_connect_transitively(self):
+        # Z connects to X directly, not through Y — still one class
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y, c Z "
+            "WHERE X.j = Y.j AND X.j = Z.j "
+            "ORDER BY X.s + Y.s + Z.s STOP AFTER 1"
+        )
+        assert query.arity == 3
+
+    def test_weighted_sum_realigned_to_from_order(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y, c Z "
+            "WHERE X.j = Y.j AND Y.j = Z.j "
+            "ORDER BY 3 * Z.s + 2 * X.s + Y.s STOP AFTER 1"
+        )
+        assert query.function.weights == (2.0, 1.0, 3.0)  # (X, Y, Z)
+
+    def test_nary_max(self):
+        query = parse_rank_join(
+            "SELECT * FROM a X, b Y, c Z "
+            "WHERE X.j = Y.j AND Y.j = Z.j "
+            "ORDER BY MAX(X.s, Y.s, Z.s) STOP AFTER 1"
+        )
+        assert isinstance(query.function, MaxFunction)
+        assert query.arity == 3
+
+    @pytest.mark.parametrize("text", [
+        # join conditions leave Z disconnected
+        "SELECT * FROM a X, b Y, c Z WHERE X.j = Y.j "
+        "ORDER BY X.s + Y.s + Z.s STOP AFTER 1",
+        # score expression misses Z
+        "SELECT * FROM a X, b Y, c Z WHERE X.j = Y.j AND Y.j = Z.j "
+        "ORDER BY X.s + Y.s STOP AFTER 1",
+        # one alias joining on two different columns
+        "SELECT * FROM a X, b Y, c Z WHERE X.j = Y.j AND X.q = Z.j "
+        "ORDER BY X.s + Y.s + Z.s STOP AFTER 1",
+        # unknown alias in the join chain
+        "SELECT * FROM a X, b Y WHERE X.j = Y.j AND Q.j = X.j "
+        "ORDER BY X.s + Y.s STOP AFTER 1",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ParseError):
+            parse_rank_join(text)
+
+
 class TestErrors:
     @pytest.mark.parametrize("text", [
         "FROM a, b WHERE a.j = b.j ORDER BY a.s + b.s STOP AFTER 1",

@@ -77,6 +77,31 @@ class TestMutations:
         htable.delete(Delete("ghost"))
         assert htable.get(Get("ghost")).empty
 
+    def test_drop_family_purges_data_everywhere(self, empty_platform):
+        """Schema-level family drop removes the family's cells from the
+        memtable, flushed segments, and the WAL, leaving other families
+        intact (the cascade's temp-index cleanup relies on this)."""
+        htable = empty_platform.store.create_table("t", {"a", "b"})
+        htable.put(Put("r1").add("a", "c", b"1").add("b", "c", b"2"))
+        htable.flush()  # family data reaches an SSTable
+        htable.put(Put("r2").add("a", "c", b"3").add("b", "c", b"4"))
+
+        backing = empty_platform.store.backing("t")
+        backing.drop_family("a")
+        assert backing.families == {"b"}
+        for row in backing.all_rows():
+            assert not [cell for cell in row if cell.family == "a"]
+        assert htable.get(Get("r1")).value("b", "c") == b"2"
+        assert htable.get(Get("r2")).value("b", "c") == b"4"
+        for region in backing.regions:
+            assert not [
+                cell for cell in region.wal.replay() if cell.family == "a"
+            ]
+            # byte accounting must track the surviving entries exactly
+            assert region.wal.byte_size == sum(
+                cell.serialized_size() for cell in region.wal.replay()
+            )
+
     def test_later_timestamp_wins_regardless_of_arrival(self, empty_platform):
         htable = empty_platform.store.create_table("t", {"d"})
         htable.put(Put("r", timestamp=10).add("d", "c", b"new"))
@@ -116,6 +141,36 @@ class TestMetering:
         individual = empty_platform.metrics.snapshot()
         assert batched.kv_reads == individual.kv_reads == 10
         assert batched.sim_time_s < individual.sim_time_s
+
+    def test_whole_row_delete_charges_the_read_before_delete(self, empty_platform):
+        """A whole-row Delete must discover the row's columns with a point
+        read; that read used to go through the unmetered backing table,
+        billing delete-heavy workloads nothing for it.  It is charged
+        exactly like a Get of the same row."""
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r").add("d", "a", b"1").add("d", "b", b"2"))
+        htable.put(Put("probe").add("d", "a", b"1").add("d", "b", b"2"))
+        before = empty_platform.metrics.snapshot()
+        htable.get(Get("probe"))
+        get_delta = empty_platform.metrics.snapshot() - before
+
+        before = empty_platform.metrics.snapshot()
+        htable.delete(Delete("r"))
+        delete_delta = empty_platform.metrics.snapshot() - before
+        # the read-before-delete bills the same KV reads as the point get
+        assert delete_delta.kv_reads == get_delta.kv_reads == 2
+        # and the delete's bill covers the read plus the tombstone write
+        assert delete_delta.network_bytes > get_delta.network_bytes
+        assert delete_delta.sim_time_s > get_delta.sim_time_s
+
+    def test_column_delete_stays_read_free(self, empty_platform):
+        """Targeted column deletes know their cell already — no read."""
+        htable = empty_platform.store.create_table("t", {"d"})
+        htable.put(Put("r").add("d", "a", b"1"))
+        before = empty_platform.metrics.snapshot()
+        htable.delete(Delete("r", family="d", qualifier="a"))
+        delta = empty_platform.metrics.snapshot() - before
+        assert delta.kv_reads == 0
 
     def test_multi_get_charges_request_overhead_per_region(self, empty_platform):
         """One RPC per region touched means one request header per region —
