@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-planner bench-wallclock bench-multiway docs-check examples all
+.PHONY: test bench bench-planner bench-wallclock bench-multiway bench-sketch docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -28,6 +28,12 @@ bench-wallclock:
 bench-multiway:
 	BENCH_MULTIWAY_OUT=BENCH_multiway.candidate.json $(PYTHON) -m pytest benchmarks/test_multiway.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_multiway.json BENCH_multiway.candidate.json
+
+## sketch (Golomb blob) encode/decode/membership micro-benchmarks, diffed
+## against the committed BENCH_sketch.json baseline (warn-only)
+bench-sketch:
+	BENCH_SKETCH_OUT=BENCH_sketch.candidate.json $(PYTHON) -m pytest benchmarks/test_sketch.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_sketch.json BENCH_sketch.candidate.json
 
 ## docstring coverage + README code blocks actually run
 docs-check:

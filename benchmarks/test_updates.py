@@ -43,14 +43,15 @@ def _setup_with_updates():
 
 
 def _apply(relations, refresh):
-    for order in refresh.insert_orders:
-        relations["orders"].insert(order["orderkey"], order)
-    for item in refresh.insert_lineitems:
-        relations["lineitem"].insert(item["rowkey"], item)
-    for orderkey in refresh.delete_orders:
-        relations["orders"].delete(orderkey)
-    for rowkey in refresh.delete_lineitems:
-        relations["lineitem"].delete(rowkey)
+    """Apply one refresh set through the batched maintenance write path."""
+    relations["orders"].insert_batch(
+        [(order["orderkey"], order) for order in refresh.insert_orders]
+    )
+    relations["lineitem"].insert_batch(
+        [(item["rowkey"], item) for item in refresh.insert_lineitems]
+    )
+    relations["orders"].delete_batch(refresh.delete_orders)
+    relations["lineitem"].delete_batch(refresh.delete_lineitems)
 
 
 class TestOnlineUpdates:

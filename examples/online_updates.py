@@ -62,14 +62,16 @@ def main() -> None:
     for round_number, refresh in enumerate(
         generate_refresh_sets(data, count=3), start=1
     ):
-        for order in refresh.insert_orders:
-            relations["orders"].insert(order["orderkey"], order)
-        for item in refresh.insert_lineitems:
-            relations["lineitem"].insert(item["rowkey"], item)
-        for orderkey in refresh.delete_orders:
-            relations["orders"].delete(orderkey)
-        for rowkey in refresh.delete_lineitems:
-            relations["lineitem"].delete(rowkey)
+        # the batched write path: one shared timestamp and one put_batch
+        # per table per refresh half, instead of one RPC per record
+        relations["orders"].insert_batch(
+            [(order["orderkey"], order) for order in refresh.insert_orders]
+        )
+        relations["lineitem"].insert_batch(
+            [(item["rowkey"], item) for item in refresh.insert_lineitems]
+        )
+        relations["orders"].delete_batch(refresh.delete_orders)
+        relations["lineitem"].delete_batch(refresh.delete_lineitems)
         print(f"\nrefresh set {round_number}: +{refresh.insert_count} "
               f"inserts, -{refresh.delete_count} deletes")
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
-from repro.core.bfhm.bucket import reverse_row_key
+from repro.core.bfhm.bucket import decode_reverse_value, reverse_row_key
 from repro.core.bfhm.estimation import (
     SCORE_EPSILON,
     BFHMEstimator,
@@ -74,8 +74,6 @@ class _ReverseMappingCache:
             # updates, or a bit position the other relation set) comes back
             # as an empty RowResult and carries no tuples
             self.rows_fetched += sum(1 for row in rows if not row.empty)
-            from repro.core.bfhm.bucket import decode_reverse_value
-
             for (bucket, position), row in zip(missing, rows):
                 tuples = [
                     decode_reverse_value(cell.qualifier, cell.value)

@@ -1,0 +1,83 @@
+"""Process-wide cache of Golomb-decoded BFHM blobs.
+
+Golomb-decoding a bucket blob costs coordinator CPU proportional to the
+bucket's population (§5.1's compression/processing trade-off).  The same
+blob bytes are decoded again and again — across §5.3 repair rounds, across
+queries in a session, across cascade stages, and in the §6 update replay —
+so the decoded ``{bit position: counter}`` table is memoized here, keyed by
+the raw blob bytes.
+
+Keying by the bytes makes invalidation automatic: any update that changes a
+bucket (record replay write-back, rebuild) produces different blob bytes
+and therefore a different key.  The cache is pure CPU memoization — the
+store fetch of the blob row still happens and the simulated cost model
+still charges the decode CPU, so all simulated metrics are unchanged.
+
+Entries hand out *copies* of the counter table (callers mutate their
+filters during update replay); copying a dict is an order of magnitude
+cheaper than re-running the Golomb decode.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sketches.hybrid import HybridBloomFilter
+
+#: default number of decoded blobs kept (LRU); a blob decodes to one dict
+#: entry per distinct join value in the bucket
+DEFAULT_CAPACITY = 1024
+
+
+class DecodedBlobCache:
+    """LRU of ``blob bytes -> (bit_count, item_count, counters)``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, tuple[int, int, dict[int, int]]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def decode(self, raw: bytes) -> HybridBloomFilter:
+        """A fresh :class:`HybridBloomFilter` equal to the decoded form of
+        the stored payload ``raw``, Golomb-decoding at most once per
+        distinct payload."""
+        entry = self._entries.get(raw)
+        if entry is None:
+            from repro.core.bfhm.bucket import decode_blob
+
+            self.misses += 1
+            decoded = HybridBloomFilter.from_blob(decode_blob(raw))
+            self._entries[raw] = (
+                decoded.bit_count,
+                decoded.item_count,
+                dict(decoded.counters),
+            )
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return decoded
+        self.hits += 1
+        self._entries.move_to_end(raw)
+        bit_count, item_count, counters = entry
+        instance = HybridBloomFilter(bit_count)
+        instance.counters = dict(counters)
+        instance.item_count = item_count
+        return instance
+
+    def clear(self) -> None:
+        """Drop every entry (tests and memory-pressure hooks)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: the shared process-wide instance used by the BFHM read paths
+blob_cache = DecodedBlobCache()
+
+
+def decode_cached(raw: bytes) -> HybridBloomFilter:
+    """Decode one stored blob payload through the shared cache."""
+    return blob_cache.decode(raw)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.common.types import ScoredRow
 from repro.errors import IndexError_
+from repro.sketches.histogram import bucket_bounds
 from repro.sketches.hybrid import HybridBlob, HybridBloomFilter
 
 META_ROW = "meta"
@@ -156,6 +157,4 @@ class BFHMMeta:
         """Upper score boundary of a bucket (used for termination bounds —
         the paper's example uses boundaries, not actual maxima, for
         not-yet-fetched buckets)."""
-        from repro.sketches.histogram import bucket_bounds
-
         return bucket_bounds(bucket, self.num_buckets)[1]

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.common.functions import AggregateFunction
 from repro.common.serialization import decode_float, decode_str
+from repro.core.bfhm.blobcache import decode_cached
 from repro.core.bfhm.bucket import (
     Q_BLOB,
     Q_COUNT,
@@ -33,13 +34,11 @@ from repro.core.bfhm.bucket import (
     BFHMBucketData,
     BFHMMeta,
     blob_row_key,
-    decode_blob,
 )
 from repro.core.bfhm.updates import BFHMUpdateManager
 from repro.core.indexes import BFHM_TABLE
 from repro.errors import IndexError_
 from repro.platform import Platform
-from repro.sketches.hybrid import HybridBloomFilter
 from repro.store.client import Get
 
 SCORE_EPSILON = 1e-12
@@ -250,5 +249,5 @@ def decode_plain_bucket_row(signature: str, bucket: int, row) -> BFHMBucketData:
         min_score=decode_float(min_raw),
         max_score=decode_float(max_raw),
         count=int(decode_str(count_raw)) if count_raw is not None else 0,
-        filter=HybridBloomFilter.from_blob(decode_blob(blob_raw)),
+        filter=decode_cached(blob_raw),
     )

@@ -45,7 +45,7 @@ from repro.relational.binding import RelationBinding, load_relation
 from repro.sketches.bloom import single_hash_bit_count
 from repro.sketches.histogram import score_to_bucket
 from repro.sketches.hybrid import HybridBloomFilter
-from repro.store.client import Put
+from repro.store.client import Get, Put
 
 #: §7.1 filter configuration
 DEFAULT_FP_RATE = 0.05
@@ -191,8 +191,6 @@ class BFHMIndexBuilder:
         Accepts either a relation signature or an already-resolved index
         family name.
         """
-        from repro.store.client import Get
-
         family = (
             signature if "__b" in signature else self.index_family(signature)
         )

@@ -35,6 +35,7 @@ from repro.common.functions import (
     WeightedSumFunction,
 )
 from repro.common.multiway import MultiJoinTuple
+from repro.common.serialization import encode_float, encode_str
 from repro.common.types import JoinTuple
 from repro.core.bfhm.algorithm import BFHMRankJoin
 from repro.core.bfhm.estimation import SCORE_EPSILON, TerminationPolicy
@@ -341,8 +342,6 @@ class BFHMCascadeRankJoin:
         """Write one stage's ``(row key, join value, true partial score)``
         rows as a temporary relation (metered puts), scores normalized into
         the index's [0, 1] domain, and bind it for the next binary stage."""
-        from repro.common.serialization import encode_float, encode_str
-
         BFHMCascadeRankJoin._temp_seq += 1
         table_name = f"bfhm_cascade_tmp_{BFHMCascadeRankJoin._temp_seq}"
         norm = upper if upper > 0 else 1.0

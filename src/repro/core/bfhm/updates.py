@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 
 from repro.common.serialization import decode_float, decode_str, encode_float, encode_str
+from repro.core.bfhm.blobcache import decode_cached
 from repro.core.bfhm.bucket import (
     META_ROW,
     Q_BLOB,
@@ -32,7 +33,6 @@ from repro.core.bfhm.bucket import (
     BFHMBucketData,
     BFHMMeta,
     blob_row_key,
-    decode_blob,
     decode_bucket_list,
     encode_blob,
     encode_bucket_list,
@@ -45,7 +45,7 @@ from repro.platform import Platform
 from repro.sketches.histogram import score_to_bucket
 from repro.sketches.hybrid import HybridBloomFilter
 from repro.store.cell import RowResult
-from repro.store.client import Delete, Put
+from repro.store.client import Delete, Get, Put
 
 #: update-record qualifier prefix: u<timestamp>|<op>|<rowkey>
 _RECORD_PREFIX = "u"
@@ -127,17 +127,19 @@ class BFHMUpdateManager:
         ]:
             del self._pending[key]
 
-    def _extend_meta_buckets(self, signature: str, bucket: int) -> None:
-        """Record a newly non-empty bucket in the meta row."""
+    def _extend_meta_buckets(self, signature: str, buckets: "set[int]") -> None:
+        """Record newly non-empty buckets in the meta row (one put for the
+        whole set, however many buckets an insert batch lit up)."""
         meta = self.meta(signature)
-        if bucket in meta.buckets:
+        new = buckets - set(meta.buckets)
+        if not new:
             return
-        buckets = tuple(sorted((*meta.buckets, bucket)))
-        updated = BFHMMeta(meta.num_buckets, meta.m_bits, buckets, meta.family)
+        merged = tuple(sorted((*meta.buckets, *new)))
+        updated = BFHMMeta(meta.num_buckets, meta.m_bits, merged, meta.family)
         self.register_meta(signature, updated)
         htable = self.platform.store.table(BFHM_TABLE)
         put = Put(META_ROW)
-        put.add(meta.family, Q_BUCKETS, encode_bucket_list(list(buckets)))
+        put.add(meta.family, Q_BUCKETS, encode_bucket_list(list(merged)))
         htable.put(put)
 
     # -- mutation path (intercepted by the maintenance layer) --------------------
@@ -150,23 +152,61 @@ class BFHMUpdateManager:
 
         Returns the bucket the tuple landed in.
         """
-        meta = self.meta(signature)
-        timestamp = timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
-        bucket = score_to_bucket(score, meta.num_buckets)
-        bit_position = HybridBloomFilter(meta.m_bits).position(join_value)
-        htable = self.platform.store.table(BFHM_TABLE)
+        return self.apply_insert_batch(
+            signature, [(row_key, join_value, score)], timestamp
+        )[0]
 
-        reverse_put = Put(reverse_row_key(bucket, bit_position), timestamp=timestamp)
-        reverse_put.add(meta.family, row_key, encode_reverse_value(join_value, score))
-        record_put = Put(blob_row_key(bucket), timestamp=timestamp)
-        record_put.add(
-            meta.family,
-            record_qualifier(timestamp, _OP_INSERT, row_key),
-            encode_reverse_value(join_value, score),
+    def apply_insert_batch(
+        self,
+        signature: str,
+        items: "list[tuple[str, str, float]]",
+        timestamp: "int | None" = None,
+    ) -> list[int]:
+        """Insert many ``(row key, join value, score)`` tuples sharing one
+        mutation timestamp.
+
+        Reverse-mapping puts coalesce per ``bucket|bitPos`` row and §6
+        insertion records coalesce per bucket row, so the whole batch is
+        one ``put_batch`` (one RPC per region touched) plus at most one
+        meta-row update — instead of two puts and a meta check per tuple.
+        Returns the bucket of each tuple, in input order.
+        """
+        if not items:
+            return []
+        meta = self.meta(signature)
+        timestamp = (
+            timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
         )
-        htable.put_batch([reverse_put, record_put])
-        self._extend_meta_buckets(signature, bucket)
-        return bucket
+        probe = HybridBloomFilter(meta.m_bits)
+        reverse_puts: "dict[str, Put]" = {}
+        record_puts: "dict[str, Put]" = {}
+        buckets: list[int] = []
+        for row_key, join_value, score in items:
+            bucket = score_to_bucket(score, meta.num_buckets)
+            buckets.append(bucket)
+            value = encode_reverse_value(join_value, score)
+            reverse_key = reverse_row_key(bucket, probe.position(join_value))
+            reverse_put = reverse_puts.get(reverse_key)
+            if reverse_put is None:
+                reverse_put = reverse_puts[reverse_key] = Put(
+                    reverse_key, timestamp=timestamp
+                )
+            reverse_put.add(meta.family, row_key, value)
+            blob_key = blob_row_key(bucket)
+            record_put = record_puts.get(blob_key)
+            if record_put is None:
+                record_put = record_puts[blob_key] = Put(
+                    blob_key, timestamp=timestamp
+                )
+            record_put.add(
+                meta.family,
+                record_qualifier(timestamp, _OP_INSERT, row_key),
+                value,
+            )
+        htable = self.platform.store.table(BFHM_TABLE)
+        htable.put_batch([*reverse_puts.values(), *record_puts.values()])
+        self._extend_meta_buckets(signature, set(buckets))
+        return buckets
 
     def apply_delete(
         self, signature: str, row_key: str, join_value: str, score: float,
@@ -174,28 +214,56 @@ class BFHMUpdateManager:
     ) -> int:
         """Delete one tuple: drop its reverse mapping, add a tombstone
         record for the blob replay."""
-        meta = self.meta(signature)
-        timestamp = timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
-        bucket = score_to_bucket(score, meta.num_buckets)
-        bit_position = HybridBloomFilter(meta.m_bits).position(join_value)
-        htable = self.platform.store.table(BFHM_TABLE)
+        return self.apply_delete_batch(
+            signature, [(row_key, join_value, score)], timestamp
+        )[0]
 
-        htable.delete(
-            Delete(
-                reverse_row_key(bucket, bit_position),
-                family=meta.family,
-                qualifier=row_key,
-                timestamp=timestamp,
+    def apply_delete_batch(
+        self,
+        signature: str,
+        items: "list[tuple[str, str, float]]",
+        timestamp: "int | None" = None,
+    ) -> list[int]:
+        """Delete many ``(row key, join value, score)`` tuples sharing one
+        mutation timestamp: batched reverse-mapping tombstones plus §6
+        deletion records coalesced per bucket row.  Returns each tuple's
+        bucket, in input order."""
+        if not items:
+            return []
+        meta = self.meta(signature)
+        timestamp = (
+            timestamp if timestamp is not None else self.platform.ctx.next_timestamp()
+        )
+        probe = HybridBloomFilter(meta.m_bits)
+        deletes: list[Delete] = []
+        record_puts: "dict[str, Put]" = {}
+        buckets: list[int] = []
+        for row_key, join_value, score in items:
+            bucket = score_to_bucket(score, meta.num_buckets)
+            buckets.append(bucket)
+            deletes.append(
+                Delete(
+                    reverse_row_key(bucket, probe.position(join_value)),
+                    family=meta.family,
+                    qualifier=row_key,
+                    timestamp=timestamp,
+                )
             )
-        )
-        record_put = Put(blob_row_key(bucket), timestamp=timestamp)
-        record_put.add(
-            meta.family,
-            record_qualifier(timestamp, _OP_DELETE, row_key),
-            encode_reverse_value(join_value, score),
-        )
-        htable.put(record_put)
-        return bucket
+            blob_key = blob_row_key(bucket)
+            record_put = record_puts.get(blob_key)
+            if record_put is None:
+                record_put = record_puts[blob_key] = Put(
+                    blob_key, timestamp=timestamp
+                )
+            record_put.add(
+                meta.family,
+                record_qualifier(timestamp, _OP_DELETE, row_key),
+                encode_reverse_value(join_value, score),
+            )
+        htable = self.platform.store.table(BFHM_TABLE)
+        htable.delete_batch(deletes)
+        htable.put_batch(list(record_puts.values()))
+        return buckets
 
     # -- read-time replay -----------------------------------------------------------
 
@@ -215,7 +283,9 @@ class BFHMUpdateManager:
         count_raw = row.value(signature, Q_COUNT)
 
         if blob_raw is not None:
-            bucket_filter = HybridBloomFilter.from_blob(decode_blob(blob_raw))
+            # cached decode hands back a fresh copy, so the record replay
+            # below can mutate the filter without poisoning the cache
+            bucket_filter = decode_cached(blob_raw)
             min_score = decode_float(min_raw) if min_raw is not None else float("inf")
             max_score = decode_float(max_raw) if max_raw is not None else float("-inf")
             count = int(decode_str(count_raw)) if count_raw is not None else 0
@@ -327,7 +397,5 @@ class BFHMUpdateManager:
         return swept
 
 
-def _bucket_get(signature: str, bucket: int):
-    from repro.store.client import Get
-
+def _bucket_get(signature: str, bucket: int) -> Get:
     return Get(blob_row_key(bucket), families={signature})

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.common.serialization import decode_str, encode_score_key
+from repro.common.serialization import (
+    decode_float,
+    decode_score_key,
+    decode_str,
+    encode_score_key,
+)
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
 from repro.core.hrjn import LEFT, RIGHT, HRJNOperator
@@ -71,8 +76,6 @@ class _SideCursor:
 
 
 def _score_of_key(key: str) -> float:
-    from repro.common.serialization import decode_score_key
-
     return decode_score_key(key)
 
 
@@ -110,8 +113,6 @@ class ISLRankJoin(RankJoinAlgorithm):
             if join_raw is None or score_raw is None:
                 task.bump("skipped_rows")
                 return
-            from repro.common.serialization import decode_float
-
             put = Put(encode_score_key(decode_float(score_raw)))
             put.add(signature, row_key, join_raw)
             task.emit(put.row, put)

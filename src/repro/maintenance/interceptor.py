@@ -27,6 +27,7 @@ from repro.maintenance.consistency import RetryPolicy, with_retries
 from repro.platform import Platform
 from repro.relational.binding import RelationBinding, row_to_scored
 from repro.store.client import Delete, Put
+from repro.tpch.loader import FLOAT_COLUMNS
 
 
 class MaintainedRelation:
@@ -67,8 +68,6 @@ class MaintainedRelation:
         return with_retries(mutation, self.retry_policy, self.failure_injector)
 
     def _encode_column(self, name: str, value: Any) -> bytes:
-        from repro.tpch.loader import FLOAT_COLUMNS
-
         if name in FLOAT_COLUMNS or isinstance(value, float):
             return encode_float(float(value))
         return encode_str(str(value))
@@ -78,43 +77,84 @@ class MaintainedRelation:
     def insert(self, row_key: str, record: "dict[str, Any]") -> None:
         """Insert one record into the base table and all indices, sharing
         one mutation timestamp."""
+        self.insert_batch([(row_key, record)])
+
+    def insert_batch(self, rows: "list[tuple[str, dict[str, Any]]]") -> None:
+        """Insert many records as one intercepted bulk mutation.
+
+        The whole batch shares a single mutation timestamp (§6 augments
+        index mutations with "the original mutation timestamp", and here
+        the original mutation is the batch); base, IJLMR, and ISL writes
+        each go out as one ``put_batch`` per table (index puts coalesced
+        per index row), BFHM mutations through
+        :meth:`~repro.core.bfhm.updates.BFHMUpdateManager.apply_insert_batch`,
+        and planner statistics are invalidated once at the end — not once
+        per record.
+        """
+        if not rows:
+            return
         binding = self.binding
-        if binding.join_column not in record or binding.score_column not in record:
-            raise QueryError(
-                f"record for {row_key!r} lacks join/score columns "
-                f"{binding.join_column!r}/{binding.score_column!r}"
+        scored: "list[tuple[str, str, float]]" = []
+        for row_key, record in rows:
+            if binding.join_column not in record or binding.score_column not in record:
+                raise QueryError(
+                    f"record for {row_key!r} lacks join/score columns "
+                    f"{binding.join_column!r}/{binding.score_column!r}"
+                )
+            scored.append(
+                (
+                    row_key,
+                    str(record[binding.join_column]),
+                    float(record[binding.score_column]),
+                )
             )
-        join_value = str(record[binding.join_column])
-        score = float(record[binding.score_column])
         timestamp = self.platform.ctx.next_timestamp()
 
-        base_put = Put(row_key, timestamp=timestamp)
-        for name, value in record.items():
-            if name == "rowkey":
-                continue
-            base_put.add(binding.family, name, self._encode_column(name, value))
+        base_puts = []
+        for row_key, record in rows:
+            base_put = Put(row_key, timestamp=timestamp)
+            for name, value in record.items():
+                if name == "rowkey":
+                    continue
+                base_put.add(binding.family, name, self._encode_column(name, value))
+            base_puts.append(base_put)
         htable = self.platform.store.table(binding.table)
-        self._retry(lambda: htable.put(base_put))
+        self._retry(lambda: htable.put_batch(base_puts))
 
         if self.maintain_ijlmr:
-            index_put = Put(join_value, timestamp=timestamp)
-            index_put.add(binding.signature, row_key, encode_float(score))
+            by_row: dict[str, Put] = {}
+            for row_key, join_value, score in scored:
+                index_put = by_row.get(join_value)
+                if index_put is None:
+                    index_put = by_row[join_value] = Put(
+                        join_value, timestamp=timestamp
+                    )
+                index_put.add(binding.signature, row_key, encode_float(score))
             ijlmr = self.platform.store.table(IJLMR_TABLE)
-            self._retry(lambda: ijlmr.put(index_put))
+            ijlmr_puts = list(by_row.values())
+            self._retry(lambda: ijlmr.put_batch(ijlmr_puts))
 
         if self.maintain_isl:
-            index_put = Put(encode_score_key(score), timestamp=timestamp)
-            index_put.add(binding.signature, row_key, encode_str(join_value))
+            by_row = {}
+            for row_key, join_value, score in scored:
+                score_key = encode_score_key(score)
+                index_put = by_row.get(score_key)
+                if index_put is None:
+                    index_put = by_row[score_key] = Put(
+                        score_key, timestamp=timestamp
+                    )
+                index_put.add(binding.signature, row_key, encode_str(join_value))
             isl = self.platform.store.table(ISL_TABLE)
-            self._retry(lambda: isl.put(index_put))
+            isl_puts = list(by_row.values())
+            self._retry(lambda: isl.put_batch(isl_puts))
 
         if self.bfhm_manager is not None:
             self._retry(
-                lambda: self.bfhm_manager.apply_insert(
-                    binding.signature, row_key, join_value, score, timestamp
+                lambda: self.bfhm_manager.apply_insert_batch(
+                    binding.signature, scored, timestamp
                 )
             )
-        self.inserts_applied += 1
+        self.inserts_applied += len(rows)
         self._invalidate_statistics()
 
     # -- deletes ------------------------------------------------------------------
@@ -124,45 +164,65 @@ class MaintainedRelation:
 
         Returns False (and does nothing) if the row does not exist.
         """
+        return self.delete_batch([row_key]) == 1
+
+    def delete_batch(self, row_keys: "list[str]") -> int:
+        """Delete many rows as one intercepted bulk mutation.
+
+        Missing rows are skipped.  Like :meth:`insert_batch`, the batch
+        shares one mutation timestamp, index tombstones go out as one
+        batched call per table, and statistics are invalidated once.
+        Base-table deletes stay per-row (a whole-row delete performs a
+        metered read to discover its columns).  Returns the number of rows
+        actually deleted.
+        """
         binding = self.binding
         backing = self.platform.store.backing(binding.table)
-        existing = backing.read_row(row_key, families={binding.family})
-        if existing.empty:
-            return False
-        scored = row_to_scored(binding, existing)
+        found: "list[tuple[str, Any]]" = []
+        # dedupe up front: all existence reads happen before any tombstone
+        # lands, so a repeated key would otherwise count (and mutate) twice
+        for row_key in dict.fromkeys(row_keys):
+            existing = backing.read_row(row_key, families={binding.family})
+            if not existing.empty:
+                found.append((row_key, row_to_scored(binding, existing)))
+        if not found:
+            return 0
         timestamp = self.platform.ctx.next_timestamp()
 
         htable = self.platform.store.table(binding.table)
-        self._retry(
-            lambda: htable.delete(Delete(row_key, timestamp=timestamp))
-        )
+        for row_key, _ in found:
+            self._retry(
+                lambda row=row_key: htable.delete(Delete(row, timestamp=timestamp))
+            )
 
         if self.maintain_ijlmr:
+            deletes = [
+                Delete(scored.join_value, family=binding.signature,
+                       qualifier=row_key, timestamp=timestamp)
+                for row_key, scored in found
+            ]
             ijlmr = self.platform.store.table(IJLMR_TABLE)
-            self._retry(
-                lambda: ijlmr.delete(
-                    Delete(scored.join_value, family=binding.signature,
-                           qualifier=row_key, timestamp=timestamp)
-                )
-            )
+            self._retry(lambda: ijlmr.delete_batch(deletes))
 
         if self.maintain_isl:
+            isl_deletes = [
+                Delete(encode_score_key(scored.score), family=binding.signature,
+                       qualifier=row_key, timestamp=timestamp)
+                for row_key, scored in found
+            ]
             isl = self.platform.store.table(ISL_TABLE)
-            self._retry(
-                lambda: isl.delete(
-                    Delete(encode_score_key(scored.score),
-                           family=binding.signature,
-                           qualifier=row_key, timestamp=timestamp)
-                )
-            )
+            self._retry(lambda: isl.delete_batch(isl_deletes))
 
         if self.bfhm_manager is not None:
+            items = [
+                (row_key, scored.join_value, scored.score)
+                for row_key, scored in found
+            ]
             self._retry(
-                lambda: self.bfhm_manager.apply_delete(
-                    binding.signature, row_key, scored.join_value,
-                    scored.score, timestamp,
+                lambda: self.bfhm_manager.apply_delete_batch(
+                    binding.signature, items, timestamp
                 )
             )
-        self.deletes_applied += 1
+        self.deletes_applied += len(found)
         self._invalidate_statistics()
-        return True
+        return len(found)

@@ -13,6 +13,7 @@ from typing import Any, Callable
 
 from repro.common.serialization import sizeof
 from repro.errors import JobConfigurationError
+from repro.sketches.hashing import hash_to_range
 
 MapFn = Callable[[Any, Any, "TaskContext"], None]
 ReduceFn = Callable[[Any, list, "TaskContext"], None]
@@ -132,8 +133,6 @@ class CollectOutput:
 
 def default_partition(key: Any, num_reducers: int) -> int:
     """Hash partitioning on the key's string form (deterministic)."""
-    from repro.sketches.hashing import hash_to_range
-
     return hash_to_range(str(key), num_reducers)
 
 

@@ -4,19 +4,34 @@ The BFHM stores its per-bucket filter as a Golomb-compressed "blob"
 (§5.1); the blob's byte size is what the bandwidth and storage accounting
 sees, so the bit stream must be a real, byte-backed encoding rather than a
 Python object pretending to be one.
+
+The wire format is frozen (see ``tests/unit/golden_golomb.json``), but the
+implementation operates on machine words instead of single bits: writes
+accumulate into one Python big int via bulk shifts and flush byte-aligned
+chunks with ``int.to_bytes``; reads keep a sliding big-int window refilled
+with ``int.from_bytes`` and decode unary runs in one step by inverting the
+window and taking ``bit_length`` — no per-bit Python loop anywhere.
 """
 
 from __future__ import annotations
 
 from repro.errors import BitstreamError
 
+#: size of the big-int accumulator/window, in bits.  Bounded chunks keep
+#: every shift/mask O(chunk) instead of O(stream); a multiple of 8 so
+#: flushed chunks stay byte-aligned.
+CHUNK_BITS = 256
+_CHUNK_BYTES = CHUNK_BITS // 8
+
 
 class BitWriter:
     """Accumulates bits most-significant-first into a byte buffer."""
 
+    __slots__ = ("_buffer", "_current", "_filled", "_bit_count")
+
     def __init__(self) -> None:
-        self._buffer = bytearray()
-        self._current = 0
+        self._buffer = bytearray()  # flushed byte-aligned prefix
+        self._current = 0  # pending bits (MSB-first), ``_filled`` wide
         self._filled = 0
         self._bit_count = 0
 
@@ -25,41 +40,62 @@ class BitWriter:
         """Number of bits written so far."""
         return self._bit_count
 
+    def _flush_chunks(self) -> None:
+        while self._filled >= CHUNK_BITS:
+            excess = self._filled - CHUNK_BITS
+            self._buffer += (self._current >> excess).to_bytes(
+                _CHUNK_BYTES, "big"
+            )
+            self._current &= (1 << excess) - 1
+            self._filled = excess
+
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         self._current = (self._current << 1) | (bit & 1)
         self._filled += 1
         self._bit_count += 1
-        if self._filled == 8:
-            self._buffer.append(self._current)
-            self._current = 0
-            self._filled = 0
+        if self._filled >= CHUNK_BITS:
+            self._flush_chunks()
 
     def write_bits(self, value: int, width: int) -> None:
         """Append ``width`` bits of ``value``, most significant first."""
         if width < 0:
             raise BitstreamError(f"negative bit width: {width}")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        self._current = (self._current << width) | (value & ((1 << width) - 1))
+        self._filled += width
+        self._bit_count += width
+        if self._filled >= CHUNK_BITS:
+            self._flush_chunks()
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` one-bits followed by a terminating zero."""
         if value < 0:
             raise BitstreamError(f"cannot unary-encode negative {value}")
-        for _ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        # the whole run is one shifted all-ones mask: 1…10
+        self._current = (self._current << (value + 1)) | (
+            ((1 << value) - 1) << 1
+        )
+        self._filled += value + 1
+        self._bit_count += value + 1
+        if self._filled >= CHUNK_BITS:
+            self._flush_chunks()
 
     def getvalue(self) -> bytes:
         """Return the written bits padded with zeros to a byte boundary."""
         result = bytearray(self._buffer)
         if self._filled:
-            result.append(self._current << (8 - self._filled))
+            tail_bytes = (self._filled + 7) // 8
+            result += (self._current << (tail_bytes * 8 - self._filled)).to_bytes(
+                tail_bytes, "big"
+            )
         return bytes(result)
 
 
 class BitReader:
     """Reads bits most-significant-first from a byte buffer."""
+
+    __slots__ = ("_data", "_limit", "_position", "_window", "_window_bits",
+                 "_byte_pos")
 
     def __init__(self, data: bytes, bit_count: "int | None" = None) -> None:
         self._data = data
@@ -69,31 +105,71 @@ class BitReader:
                 f"bit_count {self._limit} exceeds buffer of {len(data)} bytes"
             )
         self._position = 0
+        # invariant: _window holds the next _window_bits unconsumed bits of
+        # the stream (MSB-first); _window_bits == _byte_pos * 8 - _position
+        self._window = 0
+        self._window_bits = 0
+        self._byte_pos = 0
 
     @property
     def remaining(self) -> int:
         """Bits left to read."""
         return self._limit - self._position
 
+    def _refill(self, need: int) -> None:
+        data = self._data
+        while self._window_bits < need and self._byte_pos < len(data):
+            chunk = data[self._byte_pos : self._byte_pos + _CHUNK_BYTES]
+            self._byte_pos += len(chunk)
+            loaded = len(chunk) * 8
+            self._window = (self._window << loaded) | int.from_bytes(chunk, "big")
+            self._window_bits += loaded
+
     def read_bit(self) -> int:
         """Read a single bit; raises :class:`BitstreamError` past the end."""
-        if self._position >= self._limit:
-            raise BitstreamError("read past end of bit stream")
-        byte = self._data[self._position // 8]
-        bit = (byte >> (7 - self._position % 8)) & 1
-        self._position += 1
-        return bit
+        return self.read_bits(1)
 
     def read_bits(self, width: int) -> int:
         """Read ``width`` bits as an unsigned integer."""
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
+        if width <= 0:
+            return 0
+        if width > self._limit - self._position:
+            raise BitstreamError("read past end of bit stream")
+        if self._window_bits < width:
+            self._refill(width)
+        shift = self._window_bits - width
+        value = self._window >> shift
+        self._window &= (1 << shift) - 1
+        self._window_bits = shift
+        self._position += width
         return value
 
     def read_unary(self) -> int:
         """Read a unary-coded value (count of ones before the first zero)."""
         count = 0
-        while self.read_bit():
-            count += 1
-        return count
+        while True:
+            avail = self._window_bits
+            valid = self._limit - self._position
+            if valid <= 0:
+                raise BitstreamError("read past end of bit stream")
+            if avail == 0:
+                self._refill(1)
+                continue
+            if avail > valid:
+                avail = valid
+            # leading ones of the top ``avail`` bits: invert and bit_length
+            tail = self._window_bits - avail
+            inverted = (self._window >> tail) ^ ((1 << avail) - 1)
+            if inverted == 0:
+                # the whole valid window is ones — consume it and refill
+                count += avail
+                self._position += avail
+                self._window_bits = tail
+                self._window &= (1 << tail) - 1
+                continue
+            ones = avail - inverted.bit_length()
+            shift = self._window_bits - (ones + 1)
+            self._window &= (1 << shift) - 1
+            self._window_bits = shift
+            self._position += ones + 1
+            return count + ones

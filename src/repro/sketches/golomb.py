@@ -17,7 +17,9 @@ from __future__ import annotations
 import math
 
 from repro.errors import BitstreamError
-from repro.sketches.bitio import BitReader, BitWriter
+from repro.sketches.bitio import CHUNK_BITS, BitReader, BitWriter
+
+_CHUNK_BYTES = CHUNK_BITS // 8
 
 
 def optimal_golomb_parameter(probability: float) -> int:
@@ -36,21 +38,31 @@ def optimal_golomb_parameter(probability: float) -> int:
     return max(1, math.ceil(1.0 / denominator))
 
 
-def _write_golomb(writer: BitWriter, value: int, parameter: int) -> None:
+def write_golomb(writer: BitWriter, value: int, parameter: int) -> None:
+    """Write one Golomb-coded value through a :class:`BitWriter`.
+
+    The per-value reference shape of the format (``q`` in unary, the
+    remainder in truncated binary), fused into one bulk write.  The bulk
+    coders below inline this; it stays for any other bit-level producer.
+    """
     quotient, remainder = divmod(value, parameter)
-    writer.write_unary(quotient)
     if parameter == 1:
+        writer.write_unary(quotient)
         return
-    # truncated binary encoding of the remainder
     width = parameter.bit_length()
     cutoff = (1 << width) - parameter
     if remainder < cutoff:
-        writer.write_bits(remainder, width - 1)
+        tail_width = width - 1
     else:
-        writer.write_bits(remainder + cutoff, width)
+        remainder += cutoff
+        tail_width = width
+    unary = ((1 << quotient) - 1) << 1
+    writer.write_bits((unary << tail_width) | remainder, quotient + 1 + tail_width)
 
 
-def _read_golomb(reader: BitReader, parameter: int) -> int:
+def read_golomb(reader: BitReader, parameter: int) -> int:
+    """Read one Golomb-coded value through a :class:`BitReader`
+    (the inverse of :func:`write_golomb`)."""
     quotient = reader.read_unary()
     if parameter == 1:
         return quotient
@@ -67,51 +79,223 @@ def golomb_encode(values: "list[int]", parameter: int) -> tuple[bytes, int]:
     """Encode non-negative integers; returns ``(payload, bit_count)``.
 
     ``bit_count`` is needed to decode exactly (the payload is padded to a
-    byte boundary).
+    byte boundary).  The hot loop keeps the accumulator in local variables
+    (one fused bulk shift per value) rather than going through
+    :class:`BitWriter` method calls; the emitted stream is identical.
     """
     if parameter <= 0:
         raise BitstreamError(f"Golomb parameter must be positive: {parameter}")
-    writer = BitWriter()
+    if parameter == 1:
+        # pure unary: build the whole stream as a string in C ("1"-runs
+        # joined and terminated by "0"s) and convert once.  One validating
+        # pass keeps lazy iterables safe (no second consumption).
+        runs = []
+        for value in values:
+            if value < 0:
+                raise BitstreamError(
+                    f"cannot Golomb-encode negative value {value}"
+                )
+            runs.append("1" * value)
+        if not runs:
+            return b"", 0
+        stream = "0".join(runs) + "0"
+        total_bits = len(stream)
+        tail_bytes = (total_bits + 7) // 8
+        payload = (int(stream, 2) << (tail_bytes * 8 - total_bits)).to_bytes(
+            tail_bytes, "big"
+        )
+        return payload, total_bits
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    buffer = bytearray()
+    current = 0
+    filled = 0
+    total_bits = 0
     for value in values:
         if value < 0:
             raise BitstreamError(f"cannot Golomb-encode negative value {value}")
-        _write_golomb(writer, value, parameter)
-    return writer.getvalue(), writer.bit_count
+        quotient, remainder = divmod(value, parameter)
+        unary = ((1 << quotient) - 1) << 1  # q ones then the terminating 0
+        if remainder < cutoff:
+            tail_width = width - 1
+        else:
+            remainder += cutoff
+            tail_width = width
+        current = (current << (quotient + 1 + tail_width)) | (
+            (unary << tail_width) | remainder
+        )
+        filled += quotient + 1 + tail_width
+        total_bits += quotient + 1 + tail_width
+        while filled >= CHUNK_BITS:
+            excess = filled - CHUNK_BITS
+            buffer += (current >> excess).to_bytes(_CHUNK_BYTES, "big")
+            current &= (1 << excess) - 1
+            filled = excess
+    if filled:
+        tail_bytes = (filled + 7) // 8
+        buffer += (current << (tail_bytes * 8 - filled)).to_bytes(tail_bytes, "big")
+    return bytes(buffer), total_bits
 
 
 def golomb_decode(payload: bytes, bit_count: int, count: int, parameter: int) -> list[int]:
-    """Decode ``count`` integers from a :func:`golomb_encode` payload."""
+    """Decode ``count`` integers from a :func:`golomb_encode` payload.
+
+    The stream is expanded once into a bit *string* (one linear
+    ``int.from_bytes`` + ``format``), after which every value decodes with
+    C-speed primitives: ``str.find`` locates the unary terminator in one
+    call and ``int(slice, 2)`` parses the truncated-binary remainder — no
+    per-bit work and no per-value big-int arithmetic.
+    """
     if parameter <= 0:
         raise BitstreamError(f"Golomb parameter must be positive: {parameter}")
-    reader = BitReader(payload, bit_count)
-    return [_read_golomb(reader, parameter) for _ in range(count)]
+    if bit_count > len(payload) * 8:
+        raise BitstreamError(
+            f"bit_count {bit_count} exceeds buffer of {len(payload)} bytes"
+        )
+    if count <= 0:
+        return []
+    total = len(payload) * 8
+    stream = format(int.from_bytes(payload, "big"), f"0{total}b") if payload else ""
+    if parameter == 1:
+        # pure unary: one C-level split recovers every run of ones at once
+        runs = stream.split("0", count)
+        if len(runs) <= count:
+            raise BitstreamError("read past end of bit stream")
+        values = list(map(len, runs[:count]))
+        if sum(values) + count > bit_count:
+            raise BitstreamError("read past end of bit stream")
+        return values
+    find = stream.find
+    position = 0
+    out: list[int] = []
+    append = out.append
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    tail_width = width - 1
+    for _ in range(count):
+        zero = find("0", position)
+        if zero < 0 or zero >= bit_count:
+            raise BitstreamError("read past end of bit stream")
+        quotient = zero - position
+        position = zero + 1
+        end = position + tail_width
+        if end > bit_count:
+            raise BitstreamError("read past end of bit stream")
+        remainder = int(stream[position:end], 2) if tail_width else 0
+        position = end
+        if remainder >= cutoff:
+            if position >= bit_count:
+                raise BitstreamError("read past end of bit stream")
+            remainder = ((remainder << 1) | (stream[position] == "1")) - cutoff
+            position += 1
+        append(quotient * parameter + remainder)
+    return out
 
 
 def encode_sorted_set(positions: "list[int]", universe: int) -> tuple[bytes, int, int]:
     """Golomb-compress a sorted set of bit positions (a GCS).
 
-    Encodes first-order gaps with the parameter tuned to the set's density.
-    Returns ``(payload, bit_count, parameter)``.
+    Encodes first-order gaps with the parameter tuned to the set's density,
+    computing each gap inline in the encode loop (one pass over the set, no
+    intermediate gaps list).  Returns ``(payload, bit_count, parameter)``.
     """
     if any(b < a for a, b in zip(positions, positions[1:])):
         raise BitstreamError("positions must be sorted for gap encoding")
     density = len(positions) / universe if universe > 0 else 0.0
     parameter = optimal_golomb_parameter(density)
-    gaps = []
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    buffer = bytearray()
+    current = 0
+    filled = 0
+    total_bits = 0
     previous = -1
     for position in positions:
-        gaps.append(position - previous - 1)
+        gap = position - previous - 1
+        if gap < 0:  # duplicate positions (the sorted check passes them)
+            raise BitstreamError(f"cannot Golomb-encode negative value {gap}")
+        quotient, remainder = divmod(gap, parameter)
         previous = position
-    payload, bit_count = golomb_encode(gaps, parameter)
-    return payload, bit_count, parameter
+        unary = ((1 << quotient) - 1) << 1
+        if parameter == 1:
+            bits = unary
+            piece_width = quotient + 1
+        else:
+            if remainder < cutoff:
+                tail_width = width - 1
+            else:
+                remainder += cutoff
+                tail_width = width
+            bits = (unary << tail_width) | remainder
+            piece_width = quotient + 1 + tail_width
+        current = (current << piece_width) | bits
+        filled += piece_width
+        total_bits += piece_width
+        while filled >= CHUNK_BITS:
+            excess = filled - CHUNK_BITS
+            buffer += (current >> excess).to_bytes(_CHUNK_BYTES, "big")
+            current &= (1 << excess) - 1
+            filled = excess
+    if filled:
+        tail_bytes = (filled + 7) // 8
+        buffer += (current << (tail_bytes * 8 - filled)).to_bytes(tail_bytes, "big")
+    return bytes(buffer), total_bits, parameter
 
 
 def decode_sorted_set(payload: bytes, bit_count: int, count: int, parameter: int) -> list[int]:
-    """Inverse of :func:`encode_sorted_set`."""
-    gaps = golomb_decode(payload, bit_count, count, parameter)
-    positions = []
-    previous = -1
-    for gap in gaps:
-        previous = previous + gap + 1
-        positions.append(previous)
-    return positions
+    """Inverse of :func:`encode_sorted_set`.
+
+    Mirrors :func:`golomb_decode`'s string scan but accumulates the running
+    position inline, so the positions come out in one pass with no
+    intermediate gaps list.
+    """
+    if parameter <= 0:
+        raise BitstreamError(f"Golomb parameter must be positive: {parameter}")
+    if bit_count > len(payload) * 8:
+        raise BitstreamError(
+            f"bit_count {bit_count} exceeds buffer of {len(payload)} bytes"
+        )
+    if count <= 0:
+        return []
+    total = len(payload) * 8
+    stream = format(int.from_bytes(payload, "big"), f"0{total}b") if payload else ""
+    find = stream.find
+    position = 0
+    running = -1
+    out: list[int] = []
+    append = out.append
+    if parameter == 1:
+        runs = stream.split("0", count)
+        if len(runs) <= count:
+            raise BitstreamError("read past end of bit stream")
+        consumed = 0
+        for run in runs[:count]:
+            gap = len(run)
+            consumed += gap + 1
+            running += gap + 1
+            append(running)
+        if consumed > bit_count:
+            raise BitstreamError("read past end of bit stream")
+        return out
+    width = parameter.bit_length()
+    cutoff = (1 << width) - parameter
+    tail_width = width - 1
+    for _ in range(count):
+        zero = find("0", position)
+        if zero < 0 or zero >= bit_count:
+            raise BitstreamError("read past end of bit stream")
+        quotient = zero - position
+        position = zero + 1
+        end = position + tail_width
+        if end > bit_count:
+            raise BitstreamError("read past end of bit stream")
+        remainder = int(stream[position:end], 2) if tail_width else 0
+        position = end
+        if remainder >= cutoff:
+            if position >= bit_count:
+                raise BitstreamError("read past end of bit stream")
+            remainder = ((remainder << 1) | (stream[position] == "1")) - cutoff
+            position += 1
+        running += quotient * parameter + remainder + 1
+        append(running)
+    return out

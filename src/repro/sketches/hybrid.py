@@ -64,7 +64,8 @@ class HybridBloomFilter(SingleHashBloomFilter):
             positions, self.bit_count
         )
         # counters are >= 1; encode (count - 1) which is near-geometric
-        counts = [self.counters[p] - 1 for p in positions]
+        # (map(...__getitem__) keeps the lookup pass in C)
+        counts = [count - 1 for count in map(self.counters.__getitem__, positions)]
         mean = (sum(counts) / len(counts)) if counts else 0.0
         # geometric with mean mu has success probability 1/(1+mu)
         count_param = optimal_golomb_parameter(1.0 / (1.0 + mean))
@@ -97,9 +98,9 @@ class HybridBloomFilter(SingleHashBloomFilter):
             blob.entry_count,
             blob.counters_parameter,
         )
-        instance.counters = {
-            position: count + 1 for position, count in zip(positions, counts)
-        }
+        # dict(zip(..., map(...))) builds the counter table without a
+        # per-entry Python loop
+        instance.counters = dict(zip(positions, map((1).__add__, counts)))
         instance.item_count = blob.item_count
         return instance
 

@@ -178,42 +178,66 @@ class HTable:
         cells = [cell for put in puts for cell in self._cells_of_put(put)]
         self._apply_metered(cells)
 
-    def delete(self, delete: Delete) -> None:
-        """Tombstone a row or column."""
-        timestamp = (
-            delete.timestamp
-            if delete.timestamp is not None
-            else self.ctx.next_timestamp()
-        )
+    def delete_batch(self, deletes: "list[Delete]") -> None:
+        """Write many column tombstones with one RPC per region touched.
+
+        Only column-level deletes batch (a whole-row delete needs a metered
+        read to discover the row's columns first — issue those through
+        :meth:`delete` individually).
+        """
         cells: list[Cell] = []
-        if delete.family is None:
-            # whole-row delete: tombstone every existing column of the row.
-            # Discovering those columns is a real data-path read (a point
-            # get of the row), so it is charged exactly like HTable.get —
-            # reading through the backing table would silently bypass the
-            # meter and understate delete-heavy workloads
-            region = self.table.region_for(delete.row)
-            existing = region.read_row(delete.row, None)
-            self.ctx.charge_server_read(
-                existing.serialized_size(), max(len(existing), 1),
-                sequential=False,
-            )
-            self.ctx.charge_rpc(
-                REQUEST_OVERHEAD_BYTES + len(delete.row),
-                existing.serialized_size(),
-            )
-            if existing.empty:
-                return
-            for cell in existing.cells:
-                cells.append(
-                    Cell(delete.row, cell.family, cell.qualifier, b"", timestamp, True)
+        for delete in deletes:
+            if delete.family is None:
+                raise InvalidMutationError(
+                    f"delete_batch cannot batch the whole-row delete of "
+                    f"{delete.row!r}; use delete()"
                 )
-        else:
+            timestamp = (
+                delete.timestamp
+                if delete.timestamp is not None
+                else self.ctx.next_timestamp()
+            )
             qualifier = delete.qualifier if delete.qualifier is not None else ""
             cells.append(
                 Cell(delete.row, delete.family, qualifier, b"", timestamp, True)
             )
         self._apply_metered(cells)
+
+    def delete(self, delete: Delete) -> None:
+        """Tombstone a row or column."""
+        if delete.family is not None:
+            # single column tombstone: same encoding, metering, and
+            # single-cell batch as a one-element delete_batch
+            self.delete_batch([delete])
+            return
+        # whole-row delete: tombstone every existing column of the row.
+        # Discovering those columns is a real data-path read (a point
+        # get of the row), so it is charged exactly like HTable.get —
+        # reading through the backing table would silently bypass the
+        # meter and understate delete-heavy workloads
+        timestamp = (
+            delete.timestamp
+            if delete.timestamp is not None
+            else self.ctx.next_timestamp()
+        )
+        region = self.table.region_for(delete.row)
+        existing = region.read_row(delete.row, None)
+        self.ctx.charge_server_read(
+            existing.serialized_size(), max(len(existing), 1),
+            sequential=False,
+        )
+        self.ctx.charge_rpc(
+            REQUEST_OVERHEAD_BYTES + len(delete.row),
+            existing.serialized_size(),
+        )
+        if existing.empty:
+            return
+        self._apply_metered(
+            [
+                Cell(delete.row, cell.family, cell.qualifier, b"", timestamp, True)
+                for cell in existing.cells
+            ]
+        )
 
     def _apply_metered(self, cells: "list[Cell]") -> None:
         if not cells:

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.common.serialization import encode_float, encode_str
 from repro.relational.binding import RelationBinding
+from repro.store.cell import Cell
 from repro.store.client import Put, Store
 from repro.tpch.generator import Record, TPCHData
 
@@ -72,12 +73,12 @@ def load_tpch(store: Store, data: TPCHData, regions_per_table: "int | None" = No
             name, {FAMILY}, split_keys=_split_keys(row_keys, pieces)
         )
         backing = store.backing(name)
+        cells: list[Cell] = []
         for record, row_key in zip(records, row_keys):
             put = record_to_put(row_key, record, timestamp=store.ctx.next_timestamp())
             for family, qualifier, value in put.cells:
-                from repro.store.cell import Cell
-
-                backing.apply(Cell(row_key, family, qualifier, value, put.timestamp))
+                cells.append(Cell(row_key, family, qualifier, value, put.timestamp))
+        backing.apply_batch(cells)
         backing.flush_all()
 
 

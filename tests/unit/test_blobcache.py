@@ -1,0 +1,67 @@
+"""Decoded-blob cache: memoization, copy semantics, LRU bounds."""
+
+from __future__ import annotations
+
+from repro.core.bfhm.blobcache import DecodedBlobCache, blob_cache, decode_cached
+from repro.core.bfhm.bucket import encode_blob
+from repro.sketches.hybrid import HybridBloomFilter
+
+
+def _blob_bytes(items: "list[str]", m_bits: int = 1000) -> bytes:
+    bucket_filter = HybridBloomFilter(m_bits)
+    for item in items:
+        bucket_filter.insert(item)
+    return encode_blob(bucket_filter.to_blob())
+
+
+class TestDecodedBlobCache:
+    def test_hit_returns_equal_filter(self):
+        cache = DecodedBlobCache()
+        raw = _blob_bytes(["a", "b", "c", "c"])
+        first = cache.decode(raw)
+        second = cache.decode(raw)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert second.counters == first.counters
+        assert second.item_count == first.item_count
+        assert second.bit_count == first.bit_count
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        cache = DecodedBlobCache()
+        raw = _blob_bytes(["a", "b"])
+        first = cache.decode(raw)
+        first.insert("zzz")  # update replay mutates its copy
+        first.remove("a")
+        second = cache.decode(raw)
+        assert second.item_count == 2
+        assert second.counters != first.counters
+
+    def test_distinct_payloads_are_distinct_entries(self):
+        cache = DecodedBlobCache()
+        raw_a = _blob_bytes(["a"])
+        raw_b = _blob_bytes(["a", "b"])
+        assert cache.decode(raw_a).item_count == 1
+        assert cache.decode(raw_b).item_count == 2
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_lru_eviction_bounds_size(self):
+        cache = DecodedBlobCache(capacity=2)
+        raws = [_blob_bytes([f"item{i}"]) for i in range(3)]
+        for raw in raws:
+            cache.decode(raw)
+        assert len(cache) == 2
+        cache.decode(raws[0])  # evicted -> decoded again
+        assert cache.misses == 4
+
+    def test_clear(self):
+        cache = DecodedBlobCache()
+        cache.decode(_blob_bytes(["x"]))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_shared_instance_used_by_decode_cached(self):
+        raw = _blob_bytes(["shared", "entry"])
+        blob_cache.clear()
+        before = blob_cache.misses
+        decoded = decode_cached(raw)
+        assert decoded.item_count == 2
+        assert blob_cache.misses == before + 1
