@@ -1,11 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-planner bench-wallclock bench-multiway bench-sketch docs-check examples all
+.PHONY: test stress bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## heavy concurrency smoke tests (@pytest.mark.stress, excluded from tier-1)
+stress:
+	$(PYTHON) -m pytest -m stress -q tests/serving/test_stress.py
 
 ## figure regenerations + planner-quality grid only
 bench:
@@ -34,6 +38,13 @@ bench-multiway:
 bench-sketch:
 	BENCH_SKETCH_OUT=BENCH_sketch.candidate.json $(PYTHON) -m pytest benchmarks/test_sketch.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_sketch.json BENCH_sketch.candidate.json
+
+## concurrent query serving: QPS, latency percentiles, plan-cache hit rate,
+## speedup over uncached per-query execution; diffed against the committed
+## BENCH_serving.json baseline (warn-only)
+bench-serving:
+	BENCH_SERVING_OUT=BENCH_serving.candidate.json $(PYTHON) -m pytest benchmarks/test_serving.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_serving.json BENCH_serving.candidate.json
 
 ## docstring coverage + README code blocks actually run
 docs-check:

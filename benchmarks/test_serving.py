@@ -1,0 +1,164 @@
+"""Serving-layer benchmark: QPS, latency percentiles, plan-cache hit rate.
+
+A repeated-shape ``auto`` workload (the serving sweet spot: clients re-issue
+the same query shapes with different arrival order) is served twice over
+identically-built platforms:
+
+* **concurrent** — ``QueryServer(workers=4)`` with the plan cache and the
+  statement cache on, submissions flowing through ``execute_many``;
+* **serialized** — ``QueryServer(workers=1)`` with both caches disabled, so
+  every query pays parse + statistics + planning from scratch, one at a
+  time.  This is what per-query engine usage looked like before the
+  serving layer existed.
+
+The speedup therefore measures what the serving layer adds end to end —
+shared planning amortized across repeated shapes — while the bit-identity
+tests in ``tests/serving/`` pin that none of it changes a single simulated
+cost number.
+
+Run through ``make bench-serving`` the results are written to a candidate
+JSON (via ``BENCH_SERVING_OUT``) and diffed against the committed
+``BENCH_serving.json`` baseline, warning — not failing — on regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.core.bfhm.updates import WriteBackPolicy
+from repro.platform import Platform
+from repro.query.engine import RankJoinEngine
+from repro.serving import QueryServer
+from repro.tpch.generator import generate
+from repro.tpch.loader import load_tpch
+from repro.tpch.queries import Q1_SQL, Q2_SQL, q1, q2
+
+SCALE = 0.05
+SEED = 7
+WORKERS = 4
+REPS = 20
+
+#: distinct query shapes clients keep re-issuing (all auto-planned)
+SHAPES = [Q1_SQL.format(k=k) for k in (1, 5, 10, 20)] + [
+    Q2_SQL.format(k=k) for k in (1, 5, 10, 20)
+]
+
+#: minimum acceptable plan-cache hit rate over the repeated-shape workload
+MIN_HIT_RATE = 0.90
+#: minimum acceptable QPS speedup of the serving stack over per-query use
+MIN_SPEEDUP = 2.0
+
+
+def _loaded_platform() -> Platform:
+    platform = Platform(EC2_PROFILE)
+    load_tpch(platform.store, generate(micro_scale=SCALE, seed=SEED))
+    engine = RankJoinEngine(
+        platform, bfhm={"write_back": WriteBackPolicy.OFFLINE}
+    )
+    for name in ("isl", "bfhm"):
+        engine.algorithm(name).prepare(q1(1))
+        engine.algorithm(name).prepare(q2(1))
+    return platform
+
+
+@pytest.fixture(scope="module")
+def results() -> "dict[str, object]":
+    """Serve the workload both ways and package QPS/latency/cache stats."""
+    workload = [shape for _ in range(REPS) for shape in SHAPES]
+
+    serialized_server = QueryServer(
+        _loaded_platform(),
+        workers=1,
+        plan_cache_capacity=0,
+        statement_cache_capacity=0,
+    )
+    try:
+        start = time.perf_counter()
+        serialized = serialized_server.execute_many(workload)
+        serialized_s = time.perf_counter() - start
+    finally:
+        serialized_server.close()
+
+    concurrent_server = QueryServer(_loaded_platform(), workers=WORKERS)
+    try:
+        start = time.perf_counter()
+        concurrent = concurrent_server.execute_many(workload)
+        concurrent_s = time.perf_counter() - start
+        stats = concurrent_server.stats()
+        percentiles = concurrent_server.latency_percentiles()
+    finally:
+        concurrent_server.close()
+
+    return {
+        "queries": len(workload),
+        "serialized": serialized,
+        "concurrent": concurrent,
+        "serialized_s": serialized_s,
+        "concurrent_s": concurrent_s,
+        "speedup": serialized_s / concurrent_s,
+        "qps": len(workload) / concurrent_s,
+        "hit_rate": stats["plan_cache"]["hit_rate"],
+        "plan_cache": stats["plan_cache"],
+        "statement_hits": stats["statement_hits"],
+        "failed": stats["failed"],
+        "percentiles": percentiles,
+    }
+
+
+class TestServingBench:
+    def test_every_query_succeeded_identically(self, results):
+        assert results["failed"] == 0
+        for served, expected in zip(results["concurrent"], results["serialized"]):
+            assert served.error is None and expected.error is None
+            assert served.result.tuples == expected.result.tuples
+            assert served.result.metrics == expected.result.metrics
+
+    def test_plan_cache_hit_rate(self, results):
+        """REPS repeats of each shape: only the first plan per shape (plus
+        post-build invalidations) may miss."""
+        assert results["hit_rate"] >= MIN_HIT_RATE, results["plan_cache"]
+
+    def test_serving_speedup(self, results):
+        """The serving stack must beat per-query engine usage by >= 2x on a
+        repeated-shape workload (amortized parse/statistics/planning)."""
+        assert results["speedup"] >= MIN_SPEEDUP, {
+            "serialized_s": results["serialized_s"],
+            "concurrent_s": results["concurrent_s"],
+            "speedup": results["speedup"],
+        }
+
+    def test_report_written(self, results):
+        """Write the JSON report when BENCH_SERVING_OUT names a path."""
+        out_path = os.environ.get("BENCH_SERVING_OUT")
+        if not out_path:
+            pytest.skip("BENCH_SERVING_OUT not set; not writing a report")
+        report = {
+            "meta": {
+                "scale": SCALE,
+                "seed": SEED,
+                "workers": WORKERS,
+                "shapes": len(SHAPES),
+                "reps": REPS,
+                "queries": results["queries"],
+                "qps": round(results["qps"], 2),
+                "speedup": round(results["speedup"], 3),
+                "plan_cache": results["plan_cache"],
+                "statement_hits": results["statement_hits"],
+                "latency_percentiles_s": {
+                    key: round(value, 6)
+                    for key, value in results["percentiles"].items()
+                },
+            },
+            "workloads": {
+                "serialized": {"seconds": round(results["serialized_s"], 6)},
+                "concurrent": {"seconds": round(results["concurrent_s"], 6)},
+            },
+        }
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")

@@ -24,7 +24,7 @@ import struct
 from repro.common.serialization import decode_float, decode_str, encode_str
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
-from repro.core.indexes import DRJN_TABLE, ensure_index_table
+from repro.core.indexes import DRJN_TABLE, ensure_index_table, family_built
 from repro.errors import IndexNotBuiltError
 from repro.mapreduce.job import Job, TableInput, TableOutput, TaskContext
 from repro.query.spec import RankJoinQuery
@@ -87,6 +87,12 @@ class DRJNRankJoin(RankJoinAlgorithm):
         self.num_join_partitions = num_join_partitions
 
     # -- index build -----------------------------------------------------------
+
+    def _index_exists(self, binding: RelationBinding) -> bool:
+        # queries read the matrix meta row from the store each run, so a
+        # store-present family needs no in-memory rehydration (the stored
+        # matrix's partitioning wins over this instance's configuration)
+        return family_built(self.platform, DRJN_TABLE, binding.signature)
 
     def _build_index(self, binding: RelationBinding) -> IndexBuildReport:
         platform = self.platform

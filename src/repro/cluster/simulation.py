@@ -15,6 +15,7 @@ monotonic timestamp oracle for store mutations.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.cluster.costmodel import CostModel, EC2_PROFILE
@@ -72,6 +73,9 @@ class SimContext:
     def __post_init__(self) -> None:
         if self.cluster is None:
             self.cluster = SimCluster(self.cost_model)
+        # mutation timestamps must stay strictly monotonic even when many
+        # serving threads write through one context
+        self._timestamp_lock = threading.Lock()
 
     @classmethod
     def with_profile(cls, cost_model: CostModel) -> "SimContext":
@@ -79,8 +83,9 @@ class SimContext:
 
     def next_timestamp(self) -> int:
         """Monotonic mutation timestamp (HBase-style version ordering)."""
-        self._timestamp += 1
-        return self._timestamp
+        with self._timestamp_lock:
+            self._timestamp += 1
+            return self._timestamp
 
     @property
     def current_timestamp(self) -> int:

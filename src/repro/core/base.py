@@ -57,17 +57,31 @@ class RankJoinAlgorithm(ABC):
     def __init__(self, platform: Platform) -> None:
         self.platform = platform
         self._build_reports: dict[str, IndexBuildReport] = {}
+        #: signatures whose index this instance *adopted* from the store
+        #: (built earlier by another instance — e.g. another serving
+        #: worker's engine) rather than building itself
+        self._external_indexes: set[str] = set()
 
     # -- index lifecycle ----------------------------------------------------
 
     def prepare(self, query: RankJoinQuery) -> list[IndexBuildReport]:
         """Build whatever this algorithm needs for ``query`` (idempotent).
 
-        Returns build reports for indices actually built by this call.
+        An index already present in the store — built by a different
+        instance over the same platform — is adopted instead of rebuilt,
+        so per-worker engines in the serving layer never duplicate build
+        work (or its metered cost).  Returns build reports for indices
+        actually built by this call.
         """
         reports = []
         for binding in query.inputs:
             if binding.signature in self._build_reports:
+                continue
+            if binding.signature in self._external_indexes:
+                continue
+            if self._index_exists(binding):
+                self._adopt_index(binding)
+                self._external_indexes.add(binding.signature)
                 continue
             report = self._build_index(binding)
             if report is not None:
@@ -78,6 +92,16 @@ class RankJoinAlgorithm(ABC):
     def _build_index(self, binding: RelationBinding) -> "IndexBuildReport | None":
         """Build one relation's index; ``None`` for index-free algorithms."""
         return None
+
+    def _index_exists(self, binding: RelationBinding) -> bool:
+        """True iff the store already holds this algorithm's index for
+        ``binding`` (unmetered probe; index-free algorithms say False)."""
+        return False
+
+    def _adopt_index(self, binding: RelationBinding) -> None:
+        """Rehydrate any in-memory state a store-present index implies
+        (e.g. ISL batch sizing, BFHM meta registration) without touching
+        the meter."""
 
     def build_report(self, binding: RelationBinding) -> "IndexBuildReport | None":
         return self._build_reports.get(binding.signature)

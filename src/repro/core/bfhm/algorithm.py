@@ -146,7 +146,19 @@ class BFHMRankJoin(RankJoinAlgorithm):
 
     def prepare(self, query: RankJoinQuery) -> list[IndexBuildReport]:
         """Fix the common filter size over both relations before building
-        either index (bucket joins AND the two filters bit-for-bit)."""
+        either index (bucket joins AND the two filters bit-for-bit).
+
+        If the store already holds a BFHM for either input (built by
+        another instance), its meta fixes the filter size — the size the
+        stored filters were actually built with wins over a recomputation
+        from possibly-updated base data.
+        """
+        if self.builder.m_bits is None:
+            for binding in query.inputs:
+                meta = self.builder.read_meta_unmetered(binding.signature)
+                if meta is not None:
+                    self.builder.m_bits = meta.m_bits
+                    break
         self.builder.plan_for((query.left, query.right))
         return super().prepare(query)
 
@@ -161,6 +173,25 @@ class BFHMRankJoin(RankJoinAlgorithm):
 
         return self._metered_build(self.name, signature, build)
 
+    def _index_exists(self, binding: RelationBinding) -> bool:
+        """A store-present BFHM under *this* builder's bucket configuration
+        (the family name encodes ``num_buckets``, so differently configured
+        instances never adopt each other's indexes)."""
+        return (
+            self.builder.read_meta_unmetered(binding.signature) is not None
+        )
+
+    def _adopt_index(self, binding: RelationBinding) -> None:
+        """Rehydrate meta registration (and the shared filter size) from
+        the store so queries run exactly as if this instance had built."""
+        signature = binding.signature
+        meta = self.builder.read_meta_unmetered(signature)
+        if meta is None:  # pragma: no cover - raced drop between probes
+            return
+        if self.builder.m_bits is None:
+            self.builder.m_bits = meta.m_bits
+        self.update_manager.register_meta(signature, meta)
+
     def forget(self, signature_prefix: str) -> None:
         """Drop all index state registered under signatures starting with
         ``signature_prefix`` (build reports, metas, pending write-backs).
@@ -172,6 +203,10 @@ class BFHMRankJoin(RankJoinAlgorithm):
             k for k in self._build_reports if k.startswith(signature_prefix)
         ]:
             del self._build_reports[key]
+        for key in [
+            k for k in self._external_indexes if k.startswith(signature_prefix)
+        ]:
+            self._external_indexes.discard(key)
         self.update_manager.forget(signature_prefix)
 
     # -- query processing -----------------------------------------------------------

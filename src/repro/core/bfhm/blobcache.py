@@ -20,6 +20,7 @@ cheaper than re-running the Golomb decode.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.sketches.hybrid import HybridBloomFilter
@@ -37,6 +38,10 @@ class DecodedBlobCache:
         self._entries: "OrderedDict[bytes, tuple[int, int, dict[int, int]]]" = (
             OrderedDict()
         )
+        # the shared instance is hammered from every serving worker; LRU
+        # reordering (move_to_end/popitem) is a structural mutation of the
+        # OrderedDict and tears without mutual exclusion
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -44,22 +49,29 @@ class DecodedBlobCache:
         """A fresh :class:`HybridBloomFilter` equal to the decoded form of
         the stored payload ``raw``, Golomb-decoding at most once per
         distinct payload."""
-        entry = self._entries.get(raw)
+        with self._lock:
+            entry = self._entries.get(raw)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(raw)
         if entry is None:
             from repro.core.bfhm.bucket import decode_blob
 
-            self.misses += 1
+            # Golomb decode outside the lock: it is the expensive part and
+            # is pure, so two threads racing the same payload just insert
+            # the same entry twice
             decoded = HybridBloomFilter.from_blob(decode_blob(raw))
-            self._entries[raw] = (
-                decoded.bit_count,
-                decoded.item_count,
-                dict(decoded.counters),
-            )
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            with self._lock:
+                self.misses += 1
+                self._entries[raw] = (
+                    decoded.bit_count,
+                    decoded.item_count,
+                    dict(decoded.counters),
+                )
+                self._entries.move_to_end(raw)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
             return decoded
-        self.hits += 1
-        self._entries.move_to_end(raw)
         bit_count, item_count, counters = entry
         instance = HybridBloomFilter(bit_count)
         instance.counters = dict(counters)
@@ -68,7 +80,8 @@ class DecodedBlobCache:
 
     def clear(self) -> None:
         """Drop every entry (tests and memory-pressure hooks)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

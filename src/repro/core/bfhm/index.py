@@ -207,3 +207,32 @@ class BFHMIndexBuilder:
             buckets=tuple(decode_bucket_list(buckets_raw)),
             family=family,
         )
+
+    def read_meta_unmetered(self, signature: str) -> "BFHMMeta | None":
+        """The meta row via the backing table — no cost charged.
+
+        Used when *adopting* a store-present index built by another
+        instance: rehydrating in-memory registration must not bill anyone.
+        Returns ``None`` when the index (or its meta row) is absent.
+        """
+        family = (
+            signature if "__b" in signature else self.index_family(signature)
+        )
+        store = self.platform.store
+        if not store.has_table(BFHM_TABLE):
+            return None
+        table = store.backing(BFHM_TABLE)
+        if family not in table.families:
+            return None
+        row = table.read_row(META_ROW, families={family})
+        num_buckets_raw = row.value(family, Q_NUM_BUCKETS)
+        m_bits_raw = row.value(family, Q_M_BITS)
+        buckets_raw = row.value(family, Q_BUCKETS)
+        if num_buckets_raw is None or buckets_raw is None or m_bits_raw is None:
+            return None
+        return BFHMMeta(
+            num_buckets=int(decode_str(num_buckets_raw)),
+            m_bits=int(decode_str(m_bits_raw)),
+            buckets=tuple(decode_bucket_list(buckets_raw)),
+            family=family,
+        )

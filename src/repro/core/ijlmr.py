@@ -19,7 +19,12 @@ from __future__ import annotations
 from repro.common.serialization import decode_float, decode_str
 from repro.common.types import JoinTuple
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
-from repro.core.indexes import IJLMR_TABLE, ensure_index_table, sample_split_keys
+from repro.core.indexes import (
+    IJLMR_TABLE,
+    ensure_index_table,
+    family_built,
+    sample_split_keys,
+)
 from repro.mapreduce.job import CollectOutput, Job, TableInput, TableOutput, TaskContext
 from repro.query.spec import RankJoinQuery
 from repro.relational.binding import RelationBinding, load_relation
@@ -33,6 +38,11 @@ class IJLMRRankJoin(RankJoinAlgorithm):
     name = "IJLMR"
 
     # -- index build (Algorithm 1) ------------------------------------------
+
+    def _index_exists(self, binding: RelationBinding) -> bool:
+        # the IJLMR query path needs no in-memory state, so adopting a
+        # store-present family is just a matter of not rebuilding it
+        return family_built(self.platform, IJLMR_TABLE, binding.signature)
 
     def _build_index(self, binding: RelationBinding) -> IndexBuildReport:
         platform = self.platform

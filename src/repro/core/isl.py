@@ -25,7 +25,12 @@ from repro.common.serialization import (
 from repro.common.types import JoinTuple, ScoredRow
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
 from repro.core.hrjn import LEFT, RIGHT, HRJNOperator
-from repro.core.indexes import ISL_TABLE, ensure_index_table, sample_split_keys
+from repro.core.indexes import (
+    ISL_TABLE,
+    ensure_index_table,
+    family_built,
+    sample_split_keys,
+)
 from repro.mapreduce.job import Job, TableInput, TableOutput, TaskContext
 from repro.platform import Platform
 from repro.query.spec import RankJoinQuery
@@ -96,6 +101,18 @@ class ISLRankJoin(RankJoinAlgorithm):
         self._relation_rows: dict[str, int] = {}
 
     # -- index build (Algorithm 3) -------------------------------------------
+
+    def _index_exists(self, binding: RelationBinding) -> bool:
+        return family_built(self.platform, ISL_TABLE, binding.signature)
+
+    def _adopt_index(self, binding: RelationBinding) -> None:
+        """Rehydrate the relation row count a store-present index implies —
+        batch sizing (§4.2.3) is a fraction of it, so adopting without it
+        would silently fall back to the minimum batch and change the
+        query's metered scan pattern."""
+        self._relation_rows[binding.signature] = len(
+            load_relation(self.platform.store, binding)
+        )
 
     def _build_index(self, binding: RelationBinding) -> IndexBuildReport:
         platform = self.platform

@@ -97,6 +97,51 @@ class IndexNotBuiltError(IndexError_):
         self.index_name = index_name
 
 
+class ServingError(ReproError):
+    """Base class for query-serving (admission / scheduling) errors."""
+
+
+class ServerOverloadedError(ServingError):
+    """Admission control shed the query: the bounded queue was full."""
+
+    def __init__(self, pending: int, limit: int) -> None:
+        super().__init__(
+            f"server overloaded: {pending} queries in flight or queued "
+            f"(limit {limit}); query shed"
+        )
+        self.pending = pending
+        self.limit = limit
+
+
+class DeadlineExceededError(ServingError):
+    """The query's wall-clock deadline expired before execution started."""
+
+    def __init__(self, waited_s: float, deadline_s: float) -> None:
+        super().__init__(
+            f"deadline exceeded: waited {waited_s:.3f}s past a "
+            f"{deadline_s:.3f}s deadline"
+        )
+        self.waited_s = waited_s
+        self.deadline_s = deadline_s
+
+
+class BudgetExceededError(ServingError):
+    """The planner priced the query above its admission budget."""
+
+    def __init__(self, estimated: float, budget: float, objective: str) -> None:
+        super().__init__(
+            f"budget exceeded: plan estimates {estimated:.6g} {objective} "
+            f"against a budget of {budget:.6g}; query rejected"
+        )
+        self.estimated = estimated
+        self.budget = budget
+        self.objective = objective
+
+
+class ServerClosedError(ServingError):
+    """A query was submitted to a server that has been shut down."""
+
+
 class SketchError(ReproError):
     """Base class for probabilistic-sketch errors (Bloom filters, Golomb)."""
 

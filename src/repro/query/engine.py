@@ -71,13 +71,21 @@ AUTO = "auto"
 class RankJoinEngine:
     """Holds one instance of every algorithm over a shared platform."""
 
-    def __init__(self, platform: Platform, **algorithm_kwargs) -> None:
+    def __init__(
+        self,
+        platform: Platform,
+        statistics_catalog: "StatisticsCatalog | None" = None,
+        plan_cache=None,
+        **algorithm_kwargs,
+    ) -> None:
         self.platform = platform
         self._algorithms: dict[str, RankJoinAlgorithm] = {}
         self._multiway: dict[str, object] = {}
         self._algorithm_kwargs = algorithm_kwargs
-        self.statistics = StatisticsCatalog(platform)
-        self.planner = QueryPlanner(self, self.statistics)
+        # the serving layer passes a shared catalog + plan cache so its
+        # per-worker engines price queries against one set of statistics
+        self.statistics = statistics_catalog or StatisticsCatalog(platform)
+        self.planner = QueryPlanner(self, self.statistics, plan_cache=plan_cache)
         #: the QueryPlan behind the most recent ``algorithm="auto"`` run
         self.last_plan: "QueryPlan | None" = None
 

@@ -466,11 +466,22 @@ class QueryPlanner:
     #: only exists so repeated identical queries skip the simulations)
     PLAN_CACHE_LIMIT = 64
 
-    def __init__(self, engine, catalog: "StatisticsCatalog | None" = None) -> None:
+    def __init__(
+        self,
+        engine,
+        catalog: "StatisticsCatalog | None" = None,
+        plan_cache=None,
+    ) -> None:
         self.engine = engine
         self.platform = engine.platform
         self.catalog = catalog or StatisticsCatalog(engine.platform)
         self._plan_cache: "dict[tuple, tuple[int, QueryPlan]]" = {}
+        #: optional shared cache (duck-typed; see
+        #: :class:`repro.serving.plan_cache.PlanCache`).  When set it
+        #: replaces the private dict above, so many planners — one per
+        #: serving worker thread — share one LRU with per-table version
+        #: validation and hit/miss accounting.
+        self.plan_cache = plan_cache
 
     # -- public API ---------------------------------------------------------
 
@@ -505,9 +516,23 @@ class QueryPlanner:
             query.inputs, query.k, repr(query.function),
             objective, tuple(names),
         )
-        cached = self._plan_cache.get(key)
-        if cached is not None and cached[0] == self.catalog.version:
-            return cached[1]
+        shared = self.plan_cache
+        versions = epoch = None
+        if shared is not None:
+            hit = shared.lookup(key)
+            if hit is not None:
+                return hit
+            # snapshot the versions *before* gathering statistics: if
+            # maintenance lands mid-planning, store() sees the mismatch
+            # and refuses to cache the possibly-stale plan
+            versions = shared.versions_for(
+                tuple(binding.table for binding in query.inputs)
+            )
+            epoch = self.catalog.epoch
+        else:
+            cached = self._plan_cache.get(key)
+            if cached is not None and cached[0] == self.catalog.version:
+                return cached[1]
         stats = self.catalog.stats_for_query(query)
 
         estimates = []
@@ -536,9 +561,12 @@ class QueryPlanner:
             estimates=estimates,
             statistics=labels,
         )
-        if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
-            self._plan_cache.clear()
-        self._plan_cache[key] = (self.catalog.version, plan)
+        if shared is not None:
+            shared.store(key, plan, versions, epoch)
+        else:
+            if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
+                self._plan_cache.clear()
+            self._plan_cache[key] = (self.catalog.version, plan)
         return plan
 
     # -- shared helpers ---------------------------------------------------------

@@ -18,6 +18,7 @@ cache through the hooks in :mod:`repro.maintenance.interceptor`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.bfhm.bucket import Q_BLOB, Q_COUNT
@@ -392,30 +393,69 @@ class StatisticsCatalog:
     Keyed by relation signature + family.  ``invalidate(table)`` drops every
     cached entry over that base table; the maintenance interceptor calls it
     after each applied mutation so plans never price stale data.
+
+    The catalog is thread-safe: the serving layer shares one catalog across
+    worker threads, so cache fills, invalidations, and version reads all run
+    under an internal lock.  The slow part — :func:`gather_statistics` — runs
+    *outside* the lock; a gather that races an invalidation is detected by
+    comparing the table's version before and after, and its (now possibly
+    stale) result is returned to the caller but never cached.
     """
 
     def __init__(self, platform: Platform, num_buckets: int = PLANNER_NUM_BUCKETS) -> None:
         self.platform = platform
         self.num_buckets = num_buckets
         self._cache: dict[tuple[str, str], TableStatistics] = {}
+        self._lock = threading.RLock()
         self.gather_count = 0
         self.invalidation_count = 0
         #: bumped on every invalidation; consumers (the planner's plan
         #: cache) use it to detect that cached derivations went stale
         self.version = 0
+        #: per-base-table invalidation counters — lets a shared plan cache
+        #: invalidate only the plans whose input tables actually changed
+        self._table_versions: dict[str, int] = {}
+        #: bumped only by :meth:`invalidate_all` (catalog-wide resets such
+        #: as an engine rebuild); plan-cache entries also validate this
+        self.epoch = 0
+        # family/table drops change index footprints the planner priced
+        # from, so the catalog listens on the store's drop notifications
+        add_listener = getattr(platform.store, "add_drop_listener", None)
+        if add_listener is not None:
+            add_listener(self.on_store_drop)
 
     def _key(self, binding: RelationBinding) -> tuple[str, str]:
         return (binding.signature, binding.family)
 
+    def table_version(self, table: str) -> int:
+        """Monotonic invalidation counter of base table ``table``."""
+        with self._lock:
+            return self._table_versions.get(table, 0)
+
     def stats_for(self, binding: RelationBinding) -> TableStatistics:
         """Cached statistics for ``binding`` (gathered on first use)."""
         key = self._key(binding)
-        if key not in self._cache:
-            self._cache[key] = gather_statistics(
-                self.platform, binding, self.num_buckets
-            )
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            before = self._table_versions.get(binding.table, 0)
+        # gather outside the lock: it walks whole backing tables and must
+        # not serialize concurrent planning of unrelated queries
+        stats = gather_statistics(self.platform, binding, self.num_buckets)
+        with self._lock:
             self.gather_count += 1
-        return self._cache[key]
+            current = self._cache.get(key)
+            if current is not None:
+                # another thread filled the entry first; both gathers saw
+                # the same store state, keep the incumbent
+                return current
+            if self._table_versions.get(binding.table, 0) == before:
+                self._cache[key] = stats
+            # else: maintenance landed mid-gather — serve the result to
+            # this caller but leave the cache empty so the next plan
+            # re-gathers against the post-mutation state
+            return stats
 
     def stats_for_query(self, query) -> "list[TableStatistics]":
         """Per-input statistics of an n-ary query, in input order.
@@ -428,23 +468,47 @@ class StatisticsCatalog:
         """Drop cached statistics over base table ``table``; returns the
         number of entries dropped.  Index tables fan in through their base
         relation, so invalidating the base covers the index stats too."""
-        stale = [
-            key
-            for key, stats in self._cache.items()
-            if stats.binding.table == table
-        ]
-        for key in stale:
-            del self._cache[key]
-        if stale:
-            self.invalidation_count += 1
-        self.version += 1
-        return len(stale)
+        with self._lock:
+            stale = [
+                key
+                for key, stats in self._cache.items()
+                if stats.binding.table == table
+            ]
+            for key in stale:
+                del self._cache[key]
+            if stale:
+                self.invalidation_count += 1
+            self.version += 1
+            self._table_versions[table] = self._table_versions.get(table, 0) + 1
+            return len(stale)
 
     def invalidate_all(self) -> None:
         """Drop every cached entry (and mark derived plans stale)."""
-        self._cache.clear()
-        self.version += 1
+        with self._lock:
+            self._cache.clear()
+            self.version += 1
+            self.epoch += 1
+
+    def on_store_drop(self, table_name: str, family: "str | None") -> None:
+        """Store listener: a family (or whole table) was dropped, so
+        statistics — and any plans priced from them — may be stale.
+
+        Index families are named after the relation signature
+        ``<base table>__<join col>__<score col>`` (BFHM appends a
+        ``__b<buckets>`` suffix), so the base table is the first ``__``
+        segment.  Invalidating by base table keeps the blast radius tight:
+        dropping a BFHM cascade temp family only bumps the (nonexistent)
+        temp table's version, leaving real cached plans alone.
+        """
+        if family is None:
+            self.invalidate(table_name)
+            return
+        base = family.split("__", 1)[0]
+        self.invalidate(base)
+        if table_name != base:
+            self.invalidate(table_name)
 
     @property
     def cached_signatures(self) -> "list[str]":
-        return sorted(signature for signature, _ in self._cache)
+        with self._lock:
+            return sorted(signature for signature, _ in self._cache)

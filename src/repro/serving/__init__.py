@@ -1,0 +1,29 @@
+"""Concurrent query serving: plan cache, admission control, scheduling.
+
+The serving layer turns the single-caller :class:`~repro.query.engine.RankJoinEngine`
+into a multi-client deployment: :class:`QueryServer` admits many
+concurrent queries, shares one plan cache and statistics catalog across
+its worker threads, and keeps simulated per-query costs bit-identical to
+solo execution (see :mod:`repro.serving.server` for the scheduling
+rules).
+"""
+
+from repro.serving.metrics import ThreadLocalMetricsRouter, install_router
+from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.server import (
+    EXCLUSIVE_MULTIWAY,
+    EXCLUSIVE_TWO_WAY,
+    QueryServer,
+    ServedQuery,
+)
+
+__all__ = [
+    "CachedPlan",
+    "EXCLUSIVE_MULTIWAY",
+    "EXCLUSIVE_TWO_WAY",
+    "PlanCache",
+    "QueryServer",
+    "ServedQuery",
+    "ThreadLocalMetricsRouter",
+    "install_router",
+]

@@ -93,6 +93,20 @@ class Store:
     def __init__(self, ctx: SimContext) -> None:
         self.ctx = ctx
         self._tables: dict[str, StoreTable] = {}
+        # called as (table name, family-or-None) after a family or table
+        # drop; statistics catalogs register here so cached statistics and
+        # plans derived from dropped index data are invalidated
+        self._drop_listeners: "list" = []
+
+    def add_drop_listener(self, listener) -> None:
+        """Register a ``(table_name, family | None)`` callable notified
+        after every family drop (family set) or table drop (family None)."""
+        if listener not in self._drop_listeners:
+            self._drop_listeners.append(listener)
+
+    def _notify_drop(self, table_name: str, family: "str | None") -> None:
+        for listener in list(self._drop_listeners):
+            listener(table_name, family)
 
     def create_table(
         self,
@@ -107,10 +121,12 @@ class Store:
         kwargs = {}
         if max_region_bytes is not None:
             kwargs["max_region_bytes"] = max_region_bytes
-        self._tables[name] = StoreTable(
+        table = StoreTable(
             name, families, self.ctx.cluster, split_keys, **kwargs
         )
-        return HTable(self, self._tables[name])
+        table.on_family_drop = self._notify_drop
+        self._tables[name] = table
+        return HTable(self, table)
 
     def table(self, name: str) -> "HTable":
         """Handle to an existing table."""
@@ -126,6 +142,7 @@ class Store:
         if name not in self._tables:
             raise TableNotFoundError(name)
         del self._tables[name]
+        self._notify_drop(name, None)
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)

@@ -13,6 +13,7 @@ stored next to each other on the same node").
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import RegionError
@@ -57,6 +58,9 @@ class Region:
         self.memtable = MemTable()
         self.sstables: list[SSTable] = []
         self.wal = WriteAheadLog()
+        # serializes the mutation path (apply/flush/compact/drop_family);
+        # readers are lock-free against rebound-snapshot structures
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -92,44 +96,56 @@ class Region:
                 f"row {cell.row!r} outside region [{self.start_key!r}, "
                 f"{self.stop_key!r})"
             )
-        self.wal.append(cell)
-        self.memtable.add(cell)
-        if self.memtable.byte_size >= self.flush_threshold:
-            self.flush()
+        with self._lock:
+            self.wal.append(cell)
+            self.memtable.add(cell)
+            if self.memtable.byte_size >= self.flush_threshold:
+                self.flush()
 
     def apply_all(self, cells: Iterable[Cell]) -> None:
         for cell in cells:
             self.apply(cell)
 
     def flush(self) -> None:
-        """Persist the memtable as a new immutable segment."""
-        if self.memtable.empty:
-            return
-        self.wal.mark_flushed()
-        self.sstables.append(SSTable(self.memtable.drain(), presorted=True))
-        self.wal.truncate_flushed()
-        if len(self.sstables) >= self.compaction_trigger:
-            self.compact(major=False)
+        """Persist the memtable as a new immutable segment.
+
+        The segment is *published* (sstable list rebound) before the
+        memtable is drained: a concurrent reader sees the cells in the
+        memtable, in both structures (duplicates resolve to the same
+        visible versions), or in the segment — never in neither.
+        """
+        with self._lock:
+            if self.memtable.empty:
+                return
+            self.wal.mark_flushed()
+            segment = SSTable(self.memtable.sorted_cells(), presorted=True)
+            self.sstables = [*self.sstables, segment]
+            self.memtable.drain()
+            self.wal.truncate_flushed()
+            if len(self.sstables) >= self.compaction_trigger:
+                self.compact(major=False)
 
     def compact(self, major: bool = True) -> None:
         """Merge all segments into one (major drops tombstoned data)."""
-        if not self.sstables:
-            return
-        self.sstables = [compact(self.sstables, drop_deletes=major)]
+        with self._lock:
+            if not self.sstables:
+                return
+            self.sstables = [compact(self.sstables, drop_deletes=major)]
 
     def drop_family(self, family: str) -> None:
         """Physically discard every cell of ``family`` (memtable, WAL, and
         segments) — the per-region half of a schema-level family drop."""
-        self.memtable.drop_family(family)
-        self.wal.drop_family(family)
-        rebuilt = []
-        for sstable in self.sstables:
-            kept = [cell for cell in sstable.cells() if cell.family != family]
-            if len(kept) == len(sstable):
-                rebuilt.append(sstable)
-            elif kept:
-                rebuilt.append(SSTable(kept, presorted=True))
-        self.sstables = rebuilt
+        with self._lock:
+            self.memtable.drop_family(family)
+            self.wal.drop_family(family)
+            rebuilt = []
+            for sstable in self.sstables:
+                kept = [cell for cell in sstable.cells() if cell.family != family]
+                if len(kept) == len(sstable):
+                    rebuilt.append(sstable)
+                elif kept:
+                    rebuilt.append(SSTable(kept, presorted=True))
+            self.sstables = rebuilt
 
     # -- read path ------------------------------------------------------------
 

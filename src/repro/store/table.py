@@ -8,8 +8,9 @@ this is what distributes an index table across nodes after a bulk build.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import ColumnFamilyNotFoundError, RegionError
 from repro.store.cell import Cell, RowResult
@@ -46,6 +47,12 @@ class StoreTable:
         ]
         # region start keys for binary-search routing (None sorts first)
         self._start_keys = boundaries
+        # serializes mutations and schema changes; splits rebind the region
+        # list so lock-free readers route against a consistent snapshot
+        self._lock = threading.RLock()
+        #: set by the owning Store: called as ``(table name, family)`` after
+        #: a family drop so statistics/plan caches can invalidate
+        self.on_family_drop: "Callable[[str, str], None] | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"StoreTable({self.name!r}, {len(self.regions)} regions)"
@@ -56,27 +63,37 @@ class StoreTable:
 
     def add_family(self, family: str) -> None:
         """Online schema change: add a column family."""
-        self.families.add(family)
+        with self._lock:
+            self.families.add(family)
 
     def drop_family(self, family: str) -> None:
         """Online schema change: drop a column family and its data (the
-        HBase admin ``deleteColumnFamily`` analogue, unmetered)."""
-        self.families.discard(family)
-        for region in self.regions:
-            region.drop_family(family)
+        HBase admin ``deleteColumnFamily`` analogue, unmetered).  Notifies
+        the store's family-drop listeners (statistics/plan caches)."""
+        with self._lock:
+            self.families.discard(family)
+            for region in self.regions:
+                region.drop_family(family)
+        if self.on_family_drop is not None:
+            self.on_family_drop(self.name, family)
 
     # -- routing -------------------------------------------------------------
 
     def region_for(self, row: str) -> Region:
         """The region owning ``row``."""
-        index = bisect_right(self._start_keys, row)
-        region = self.regions[index]
-        if not region.contains(row):
-            raise RegionError(
-                f"routing bug: {row!r} not in region "
-                f"[{region.start_key!r}, {region.stop_key!r})"
-            )
-        return region
+        # routing is lock-free: splits rebind both the region list and the
+        # start-key list, so re-reading them retries past a torn snapshot
+        for _ in range(3):
+            starts = self._start_keys
+            regions = self.regions
+            index = bisect_right(starts, row)
+            if index < len(regions):
+                region = regions[index]
+                if region.contains(row):
+                    return region
+        raise RegionError(
+            f"routing bug: {row!r} not owned by any region of {self.name!r}"
+        )
 
     def regions_in_range(
         self, start_row: "str | None", stop_row: "str | None"
@@ -96,10 +113,11 @@ class StoreTable:
     def apply(self, cell: Cell) -> None:
         """Route one mutation to its region; may trigger an auto-split."""
         self.check_family(cell.family)
-        region = self.region_for(cell.row)
-        region.apply(cell)
-        if region.disk_size > self.max_region_bytes:
-            self._try_split(region)
+        with self._lock:
+            region = self.region_for(cell.row)
+            region.apply(cell)
+            if region.disk_size > self.max_region_bytes:
+                self._try_split(region)
 
     def apply_batch(self, cells: "list[Cell]") -> int:
         """Route a batch of mutations; returns the number of regions touched.
@@ -117,25 +135,31 @@ class StoreTable:
         for family in sorted({cell.family for cell in cells}):
             self.check_family(family)
         touched: set[int] = set()
-        for cell in cells:
-            region = self.region_for(cell.row)
-            region.apply(cell)
-            if region.disk_size > self.max_region_bytes and self._try_split(region):
-                # this cell's apply split its region: its row now lives in
-                # one of the daughters, so re-route for the touched count
+        with self._lock:
+            for cell in cells:
                 region = self.region_for(cell.row)
-            touched.add(id(region))
+                region.apply(cell)
+                if region.disk_size > self.max_region_bytes and self._try_split(region):
+                    # this cell's apply split its region: its row now lives in
+                    # one of the daughters, so re-route for the touched count
+                    region = self.region_for(cell.row)
+                touched.add(id(region))
         return len(touched)
 
     def _try_split(self, region: Region) -> tuple[Region, ...]:
-        split_key = region.midpoint_key()
-        if split_key is None:
-            return ()
-        lower, upper = region.split(split_key, self.cluster.next_worker())
-        index = self.regions.index(region)
-        self.regions[index : index + 1] = [lower, upper]
-        self._start_keys = [r.start_key for r in self.regions[1:]]  # type: ignore[misc]
-        return (lower, upper)
+        with self._lock:
+            split_key = region.midpoint_key()
+            if split_key is None:
+                return ()
+            lower, upper = region.split(split_key, self.cluster.next_worker())
+            index = self.regions.index(region)
+            # rebind (copy-on-write) rather than splice in place: lock-free
+            # readers routing against the old list still see a consistent
+            # region set, and the parent region still holds its data
+            rebound = [*self.regions[:index], lower, upper, *self.regions[index + 1 :]]
+            self.regions = rebound
+            self._start_keys = [r.start_key for r in rebound[1:]]  # type: ignore[misc]
+            return (lower, upper)
 
     def flush_all(self) -> None:
         """Flush every region (makes all data durable and scannable)."""
