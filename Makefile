@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving docs-check examples all
+.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -10,6 +10,12 @@ test:
 ## heavy concurrency smoke tests (@pytest.mark.stress, excluded from tier-1)
 stress:
 	$(PYTHON) -m pytest -m stress -q tests/serving/test_stress.py
+
+## crash/fault-injection sweeps for async maintenance (@pytest.mark.chaos,
+## excluded from tier-1): crash the worker at every drain point and prove
+## recovery converges to the never-crashed state
+chaos:
+	$(PYTHON) -m pytest -m chaos -q tests/maintenance/test_chaos.py
 
 ## figure regenerations + planner-quality grid only
 bench:
@@ -45,6 +51,13 @@ bench-sketch:
 bench-serving:
 	BENCH_SERVING_OUT=BENCH_serving.candidate.json $(PYTHON) -m pytest benchmarks/test_serving.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_serving.json BENCH_serving.candidate.json
+
+## sustained-ingest benchmark for the async maintenance pipeline: submit /
+## drain / inline-apply timings with query results pinned at every drain
+## point; diffed against the committed BENCH_ingest.json (warn-only)
+bench-ingest:
+	BENCH_INGEST_OUT=BENCH_ingest.candidate.json $(PYTHON) -m pytest benchmarks/test_ingest.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_ingest.json BENCH_ingest.candidate.json
 
 ## docstring coverage + README code blocks actually run
 docs-check:

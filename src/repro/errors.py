@@ -47,6 +47,11 @@ class RegionError(StoreError):
     """A row key fell outside every region, or region metadata is corrupt."""
 
 
+class WALError(StoreError):
+    """A write-ahead-log invariant was violated (e.g. a checkpoint moving
+    backwards or past the end of the log)."""
+
+
 class InvalidMutationError(StoreError):
     """A Put/Delete was malformed (empty row key, no cells, bad timestamp)."""
 
@@ -140,6 +145,41 @@ class BudgetExceededError(ServingError):
 
 class ServerClosedError(ServingError):
     """A query was submitted to a server that has been shut down."""
+
+
+class StalenessBoundExceededError(ServingError):
+    """An input table's index lag exceeded the server's staleness bound
+    under the ``shed`` policy, so the query was rejected."""
+
+    def __init__(self, table: str, lag: int, bound: int) -> None:
+        super().__init__(
+            f"staleness bound exceeded: table {table!r} has {lag} unapplied "
+            f"mutations against a bound of {bound}; query shed"
+        )
+        self.table = table
+        self.lag = lag
+        self.bound = bound
+
+
+class MaintenanceError(ReproError):
+    """Base class for asynchronous index-maintenance errors."""
+
+
+class WorkerCrashError(MaintenanceError):
+    """A maintenance worker crashed (normally injected by the fault-
+    injection framework at a chosen drain point)."""
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected worker crash at drain point {point!r} "
+            f"(occurrence {occurrence})"
+        )
+        self.point = point
+        self.occurrence = occurrence
+
+
+class DeadLetterError(MaintenanceError):
+    """A logged mutation exhausted its retries and was dead-lettered."""
 
 
 class SketchError(ReproError):

@@ -1,6 +1,33 @@
-"""Online index maintenance (§6)."""
+"""Online index maintenance (§6): synchronous interception and the
+asynchronous, crash-recoverable WAL-drain pipeline."""
 
 from repro.maintenance.consistency import RetryPolicy, with_retries
+from repro.maintenance.faults import (
+    CrashInjector,
+    DrainPoint,
+    FaultPlan,
+    SlowDrainInjector,
+    StoreFaultInjector,
+)
 from repro.maintenance.interceptor import MaintainedRelation
+from repro.maintenance.worker import (
+    ASYNC_RETRY_POLICY,
+    BackgroundDrainer,
+    MaintenancePipeline,
+    TableStaleness,
+)
 
-__all__ = ["RetryPolicy", "with_retries", "MaintainedRelation"]
+__all__ = [
+    "ASYNC_RETRY_POLICY",
+    "BackgroundDrainer",
+    "CrashInjector",
+    "DrainPoint",
+    "FaultPlan",
+    "MaintainedRelation",
+    "MaintenancePipeline",
+    "RetryPolicy",
+    "SlowDrainInjector",
+    "StoreFaultInjector",
+    "TableStaleness",
+    "with_retries",
+]

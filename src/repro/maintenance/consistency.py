@@ -6,6 +6,14 @@ and stale tuples."  :func:`with_retries` wraps a mutation so transient
 failures (injectable, for tests) are retried; because all retried writes
 carry the *original* mutation timestamp, replays are idempotent and later
 writes are never masked by earlier retried ones.
+
+Retries can back off exponentially with deterministic jitter.  The backoff
+wait is *simulated* time: when a metrics collector is passed, each retry
+charges its delay to the cost model (``advance_time``) instead of spinning
+in a zero-cost loop — so a flaky store visibly inflates a maintenance
+batch's simulated latency, exactly as it would a real deployment's.  The
+frozen default policy keeps ``initial_backoff_s=0`` so every existing
+caller retries immediately and bills nothing, byte-identically to before.
 """
 
 from __future__ import annotations
@@ -17,6 +25,10 @@ from repro.errors import ReproError
 
 T = TypeVar("T")
 
+#: Knuth's multiplicative-hash constant; spreads attempt numbers over
+#: [0, 2^32) for deterministic, seedable backoff jitter
+_JITTER_HASH = 2654435761
+
 
 class MutationFailedError(ReproError):
     """A mutation exhausted its retry budget."""
@@ -24,34 +36,85 @@ class MutationFailedError(ReproError):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How persistently to retry failed mutations."""
+    """How persistently — and how patiently — to retry failed mutations.
+
+    The default is the historical behavior: up to 8 immediate attempts
+    with no backoff and no cost.  Asynchronous maintenance uses a policy
+    with ``initial_backoff_s > 0``: attempt ``n`` (0-based) then waits
+    ``initial_backoff_s * backoff_multiplier**n`` seconds (capped at
+    ``max_backoff_s``), de-synchronized by deterministic jitter of up to
+    ``jitter_fraction`` of the delay.  Jitter is a pure function of
+    ``(jitter_seed, attempt)``, so retry schedules — and the simulated
+    latency they charge — are exactly reproducible.
+    """
 
     max_attempts: int = 8
+    initial_backoff_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 60.0
+    jitter_fraction: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.initial_backoff_s < 0:
+            raise ValueError(
+                f"initial_backoff_s must be >= 0: {self.initial_backoff_s}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1]: {self.jitter_fraction}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated wait after failed attempt ``attempt`` (0-based).
+
+        Deterministic: exponential growth capped at ``max_backoff_s``,
+        shrunk by up to ``jitter_fraction`` via a multiplicative hash of
+        the attempt number (decorrelating concurrent retriers without any
+        randomness).
+        """
+        if self.initial_backoff_s <= 0:
+            return 0.0
+        delay = self.initial_backoff_s * (self.backoff_multiplier ** attempt)
+        delay = min(delay, self.max_backoff_s)
+        if self.jitter_fraction > 0:
+            unit = (((attempt + self.jitter_seed) * _JITTER_HASH) & 0xFFFFFFFF) / 2**32
+            delay *= 1.0 - self.jitter_fraction * unit
+        return delay
 
 
 def with_retries(
     mutation: Callable[[], T],
     policy: RetryPolicy = RetryPolicy(),
     failure_injector: "Callable[[int], bool] | None" = None,
+    metrics=None,
 ) -> T:
     """Run ``mutation`` until it succeeds or the retry budget is spent.
 
     ``failure_injector(attempt)`` returning True simulates a transient
-    store failure on that attempt (used by fault-injection tests).
+    store failure on that attempt (used by fault-injection tests).  When
+    ``metrics`` (anything with ``advance_time(seconds)``, normally a
+    :class:`~repro.cluster.metrics.MetricsCollector`) is given, each
+    retry's backoff delay is charged to it as simulated latency.
     """
     last_error: "Exception | None" = None
     for attempt in range(policy.max_attempts):
+        failed = False
         if failure_injector is not None and failure_injector(attempt):
             last_error = MutationFailedError(f"injected failure on attempt {attempt}")
-            continue
-        try:
-            return mutation()
-        except ReproError as error:
-            last_error = error
+            failed = True
+        else:
+            try:
+                return mutation()
+            except ReproError as error:
+                last_error = error
+                failed = True
+        if failed and metrics is not None and attempt + 1 < policy.max_attempts:
+            delay = policy.backoff_s(attempt)
+            if delay > 0:
+                metrics.advance_time(delay)
     raise MutationFailedError(
         f"mutation failed after {policy.max_attempts} attempts"
     ) from last_error

@@ -65,7 +65,15 @@ class MaintainedRelation:
             self.statistics_catalog.invalidate(self.binding.table)
 
     def _retry(self, mutation) -> Any:
-        return with_retries(mutation, self.retry_policy, self.failure_injector)
+        # the metrics sink only matters for policies with backoff: retry
+        # waits are charged as simulated latency (the default zero-backoff
+        # policy charges nothing, keeping the synchronous path frozen)
+        return with_retries(
+            mutation,
+            self.retry_policy,
+            self.failure_injector,
+            metrics=self.platform.metrics,
+        )
 
     def _encode_column(self, name: str, value: Any) -> bytes:
         if name in FLOAT_COLUMNS or isinstance(value, float):
@@ -79,7 +87,11 @@ class MaintainedRelation:
         one mutation timestamp."""
         self.insert_batch([(row_key, record)])
 
-    def insert_batch(self, rows: "list[tuple[str, dict[str, Any]]]") -> None:
+    def insert_batch(
+        self,
+        rows: "list[tuple[str, dict[str, Any]]]",
+        timestamp: "int | None" = None,
+    ) -> None:
         """Insert many records as one intercepted bulk mutation.
 
         The whole batch shares a single mutation timestamp (§6 augments
@@ -90,6 +102,11 @@ class MaintainedRelation:
         :meth:`~repro.core.bfhm.updates.BFHMUpdateManager.apply_insert_batch`,
         and planner statistics are invalidated once at the end — not once
         per record.
+
+        ``timestamp`` lets the async maintenance worker replay a logged
+        mutation with its *original* enqueue timestamp (§6), making crash
+        replays idempotent; synchronous callers leave it ``None`` and get
+        a fresh timestamp exactly as before.
         """
         if not rows:
             return
@@ -108,7 +125,8 @@ class MaintainedRelation:
                     float(record[binding.score_column]),
                 )
             )
-        timestamp = self.platform.ctx.next_timestamp()
+        if timestamp is None:
+            timestamp = self.platform.ctx.next_timestamp()
 
         base_puts = []
         for row_key, record in rows:
@@ -166,7 +184,9 @@ class MaintainedRelation:
         """
         return self.delete_batch([row_key]) == 1
 
-    def delete_batch(self, row_keys: "list[str]") -> int:
+    def delete_batch(
+        self, row_keys: "list[str]", timestamp: "int | None" = None
+    ) -> int:
         """Delete many rows as one intercepted bulk mutation.
 
         Missing rows are skipped.  Like :meth:`insert_batch`, the batch
@@ -176,51 +196,79 @@ class MaintainedRelation:
         metered read to discover its columns).  Returns the number of rows
         actually deleted.
         """
+        found = self.resolve_deletes(row_keys)
+        return self.apply_resolved_deletes(found, timestamp)
+
+    def resolve_deletes(
+        self, row_keys: "list[str]"
+    ) -> "list[tuple[str, str, float]]":
+        """Resolve delete targets into ``(row key, join value, score)``.
+
+        The unmetered existence read of :meth:`delete_batch`, split out so
+        the async maintenance worker can resolve a logged delete *once*,
+        persist the resolution in its WAL record, and replay the apply
+        phase idempotently after a crash (re-resolving after the base
+        tombstone landed would find nothing and strand index entries).
+        Missing and duplicate row keys are dropped.
+        """
         binding = self.binding
         backing = self.platform.store.backing(binding.table)
-        found: "list[tuple[str, Any]]" = []
+        found: "list[tuple[str, str, float]]" = []
         # dedupe up front: all existence reads happen before any tombstone
         # lands, so a repeated key would otherwise count (and mutate) twice
         for row_key in dict.fromkeys(row_keys):
             existing = backing.read_row(row_key, families={binding.family})
             if not existing.empty:
-                found.append((row_key, row_to_scored(binding, existing)))
+                scored = row_to_scored(binding, existing)
+                found.append((row_key, scored.join_value, scored.score))
+        return found
+
+    def apply_resolved_deletes(
+        self,
+        found: "list[tuple[str, str, float]]",
+        timestamp: "int | None" = None,
+    ) -> int:
+        """Apply pre-resolved deletes to the base table and all indices.
+
+        ``found`` is :meth:`resolve_deletes` output; ``timestamp`` follows
+        the same §6 original-timestamp rule as :meth:`insert_batch`.
+        Applying the same resolution twice with the same timestamp writes
+        byte-identical tombstones, so crash replays converge.
+        """
+        binding = self.binding
         if not found:
             return 0
-        timestamp = self.platform.ctx.next_timestamp()
+        if timestamp is None:
+            timestamp = self.platform.ctx.next_timestamp()
 
         htable = self.platform.store.table(binding.table)
-        for row_key, _ in found:
+        for row_key, _, _ in found:
             self._retry(
                 lambda row=row_key: htable.delete(Delete(row, timestamp=timestamp))
             )
 
         if self.maintain_ijlmr:
             deletes = [
-                Delete(scored.join_value, family=binding.signature,
+                Delete(join_value, family=binding.signature,
                        qualifier=row_key, timestamp=timestamp)
-                for row_key, scored in found
+                for row_key, join_value, _ in found
             ]
             ijlmr = self.platform.store.table(IJLMR_TABLE)
             self._retry(lambda: ijlmr.delete_batch(deletes))
 
         if self.maintain_isl:
             isl_deletes = [
-                Delete(encode_score_key(scored.score), family=binding.signature,
+                Delete(encode_score_key(score), family=binding.signature,
                        qualifier=row_key, timestamp=timestamp)
-                for row_key, scored in found
+                for row_key, _, score in found
             ]
             isl = self.platform.store.table(ISL_TABLE)
             self._retry(lambda: isl.delete_batch(isl_deletes))
 
         if self.bfhm_manager is not None:
-            items = [
-                (row_key, scored.join_value, scored.score)
-                for row_key, scored in found
-            ]
             self._retry(
                 lambda: self.bfhm_manager.apply_delete_batch(
-                    binding.signature, items, timestamp
+                    binding.signature, list(found), timestamp
                 )
             )
         self.deletes_applied += len(found)

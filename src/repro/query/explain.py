@@ -72,6 +72,11 @@ def render_plan(plan: "QueryPlan") -> str:
     lines.append(f"  breakdown: {_breakdown_line(plan.best)}")
     for note in plan.best.notes:
         lines.append(f"  note: {note}")
+    for table, pending in sorted(getattr(plan, "staleness", {}).items()):
+        lines.append(
+            f"  staleness: table {table} lags {pending} unapplied "
+            "mutation(s) (async maintenance; estimates price applied state)"
+        )
     lines.append("")
 
     lines.append("per-algorithm cost lines:")

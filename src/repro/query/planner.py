@@ -179,6 +179,13 @@ class QueryPlan:
     objective: str
     estimates: list[CostEstimate]
     statistics: "dict[str, TableStatistics]"
+    #: per-input-table index lag at the time this plan was (re)surfaced:
+    #: ``table -> pending mutation records`` (empty when every input is
+    #: synchronously maintained or fully drained).  Refreshed on every
+    #: ``QueryPlanner.plan`` call, including plan-cache hits, so EXPLAIN
+    #: always reports the *current* staleness, not the staleness at
+    #: pricing time.
+    staleness: "dict[str, int]" = field(default_factory=dict)
 
     @property
     def chosen(self) -> str:
@@ -521,6 +528,7 @@ class QueryPlanner:
         if shared is not None:
             hit = shared.lookup(key)
             if hit is not None:
+                hit.staleness = self._staleness_for(query)
                 return hit
             # snapshot the versions *before* gathering statistics: if
             # maintenance lands mid-planning, store() sees the mismatch
@@ -532,6 +540,7 @@ class QueryPlanner:
         else:
             cached = self._plan_cache.get(key)
             if cached is not None and cached[0] == self.catalog.version:
+                cached[1].staleness = self._staleness_for(query)
                 return cached[1]
         stats = self.catalog.stats_for_query(query)
 
@@ -560,6 +569,7 @@ class QueryPlanner:
             objective=objective,
             estimates=estimates,
             statistics=labels,
+            staleness=self._staleness_for(query),
         )
         if shared is not None:
             shared.store(key, plan, versions, epoch)
@@ -570,6 +580,18 @@ class QueryPlanner:
         return plan
 
     # -- shared helpers ---------------------------------------------------------
+
+    def _staleness_for(self, query: RankJoinQuery) -> "dict[str, int]":
+        """Per-input index lag from the catalog's async-maintenance hookup
+        (empty when no pipeline is attached or everything is drained).
+        The plan prices *applied* state; this annotates how far behind the
+        mutation log that state is."""
+        lagging: "dict[str, int]" = {}
+        for binding in query.inputs:
+            staleness = self.catalog.staleness_for(binding.table)
+            if staleness is not None and staleness.pending > 0:
+                lagging[binding.table] = staleness.pending
+        return lagging
 
     def _ledger(self) -> CostLedger:
         return CostLedger(self.platform.cost_model)

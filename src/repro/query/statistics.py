@@ -418,6 +418,14 @@ class StatisticsCatalog:
         #: bumped only by :meth:`invalidate_all` (catalog-wide resets such
         #: as an engine rebuild); plan-cache entries also validate this
         self.epoch = 0
+        #: duck-typed async-maintenance hookup: a callable mapping a base
+        #: table name to a staleness snapshot (``None`` when the table has
+        #: no async pipeline) — see
+        #: :meth:`repro.maintenance.worker.MaintenancePipeline.staleness`.
+        #: The catalog itself only caches *applied* state; this lets the
+        #: planner and EXPLAIN report how far the indexes lag behind the
+        #: mutation log.
+        self._staleness_provider = None
         # family/table drops change index footprints the planner priced
         # from, so the catalog listens on the store's drop notifications
         add_listener = getattr(platform.store, "add_drop_listener", None)
@@ -431,6 +439,30 @@ class StatisticsCatalog:
         """Monotonic invalidation counter of base table ``table``."""
         with self._lock:
             return self._table_versions.get(table, 0)
+
+    def set_staleness_provider(self, provider) -> None:
+        """Attach (or detach, with ``None``) the async-maintenance
+        staleness source.  ``provider(table)`` must return an object with
+        ``pending`` / ``applied_sequence`` / ``last_sequence`` attributes,
+        or ``None`` for tables it does not maintain."""
+        self._staleness_provider = provider
+
+    def staleness_for(self, table: str):
+        """The table's staleness snapshot, or ``None`` when no async
+        pipeline is attached (synchronous maintenance is never stale)."""
+        provider = self._staleness_provider
+        if provider is None:
+            return None
+        return provider(table)
+
+    def applied_watermark(self, table: str) -> int:
+        """The per-table applied-sequence watermark (0 without a pipeline).
+
+        Plan-cache entries snapshot this alongside table versions: a plan
+        priced while the table lagged is revalidated once the watermark
+        moves."""
+        staleness = self.staleness_for(table)
+        return 0 if staleness is None else staleness.applied_sequence
 
     def stats_for(self, binding: RelationBinding) -> TableStatistics:
         """Cached statistics for ``binding`` (gathered on first use)."""

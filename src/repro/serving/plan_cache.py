@@ -39,6 +39,13 @@ class CachedPlan:
     epoch: int
     #: (table name, statistics version at planning time) per input table
     table_versions: "tuple[tuple[str, int], ...]"
+    #: (table name, async-maintenance applied-sequence watermark at
+    #: planning time) — all zeros without a pipeline.  A drained batch
+    #: moves the watermark, so plans priced against a lagging index are
+    #: re-priced once the drain catches up (normally redundant with the
+    #: table-version bump the drain also performs, but load-bearing for
+    #: pipelines wired without a statistics catalog).
+    watermarks: "tuple[tuple[str, int], ...]" = ()
 
 
 class PlanCache:
@@ -72,12 +79,30 @@ class PlanCache:
         """
         return tuple((table, self.catalog.table_version(table)) for table in tables)
 
+    def watermarks_for(
+        self, tables: Sequence[str]
+    ) -> "tuple[tuple[str, int], ...]":
+        """Snapshot the per-table applied-sequence watermarks (all zeros
+        when the catalog has no async-maintenance hookup)."""
+        applied = getattr(self.catalog, "applied_watermark", None)
+        if applied is None:
+            return tuple((table, 0) for table in tables)
+        return tuple((table, applied(table)) for table in tables)
+
     def _current(self, entry: CachedPlan) -> bool:
         if entry.epoch != self.catalog.epoch:
             return False
-        return all(
+        if not all(
             self.catalog.table_version(table) == version
             for table, version in entry.table_versions
+        ):
+            return False
+        applied = getattr(self.catalog, "applied_watermark", None)
+        if applied is None:
+            return True
+        return all(
+            applied(table) == watermark
+            for table, watermark in entry.watermarks
         )
 
     # -- cache protocol ------------------------------------------------------
@@ -111,7 +136,12 @@ class PlanCache:
             return False
         if epoch is None:
             epoch = self.catalog.epoch
-        entry = CachedPlan(plan=plan, epoch=epoch, table_versions=versions)
+        entry = CachedPlan(
+            plan=plan,
+            epoch=epoch,
+            table_versions=versions,
+            watermarks=self.watermarks_for([table for table, _ in versions]),
+        )
         with self._lock:
             if not self._current(entry):
                 return False  # stale before it ever landed

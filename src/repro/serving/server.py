@@ -52,7 +52,9 @@ from repro.errors import (
     PlanningError,
     ServerClosedError,
     ServerOverloadedError,
+    StalenessBoundExceededError,
 )
+from repro.maintenance.consistency import MutationFailedError
 from repro.platform import Platform
 from repro.query.engine import AUTO, MULTIWAY_ALIASES, RankJoinEngine
 from repro.query.parser import parse_rank_join
@@ -72,6 +74,13 @@ EXCLUSIVE_MULTIWAY = frozenset({"bfhm"})
 DEFAULT_WORKERS = 4
 DEFAULT_MAX_PENDING = 64
 DEFAULT_STATEMENT_CACHE = 256
+
+#: bounded-staleness serving policies (see :meth:`QueryServer.attach_maintenance`):
+#: ``stale_ok`` serves whatever is applied; ``wait`` drains to the query's
+#: submit-time watermark first (read-your-writes); ``bounded`` drains just
+#: enough to bring every input table within ``max_lag``; ``shed`` rejects
+#: queries whose inputs lag beyond ``max_lag`` (graceful degradation)
+STALENESS_POLICIES = ("stale_ok", "wait", "bounded", "shed")
 
 
 def _percentile(sorted_values: "list[float]", fraction: float) -> float:
@@ -189,6 +198,10 @@ class _Counters:
     shed: int = 0
     deadline_rejects: int = 0
     budget_rejects: int = 0
+    staleness_rejects: int = 0
+    backpressure_shed: int = 0
+    drains_triggered: int = 0
+    maintenance_failures: int = 0
     reader_served: int = 0
     exclusive_served: int = 0
     statement_hits: int = 0
@@ -272,6 +285,98 @@ class QueryServer:
         self._statements: "OrderedDict[tuple[str, str], RankJoinQuery]" = (
             OrderedDict()
         )
+
+        # async-maintenance hookup (attach_maintenance)
+        self._pipeline = None
+        self._staleness_policy = "stale_ok"
+        self._max_lag = 0
+        self._max_backlog: "int | None" = None
+
+    # -- async maintenance -----------------------------------------------------
+
+    def attach_maintenance(
+        self,
+        pipeline,
+        policy: str = "stale_ok",
+        max_lag: int = 0,
+        max_backlog: "int | None" = None,
+    ) -> None:
+        """Wire an async :class:`~repro.maintenance.worker.
+        MaintenancePipeline` into admission control and planning.
+
+        ``policy`` picks the bounded-staleness contract
+        (:data:`STALENESS_POLICIES`); ``max_lag`` is the per-table pending
+        bound the ``bounded``/``shed`` policies enforce; ``max_backlog``
+        sheds *new queries* (backpressure) once the pipeline's total
+        backlog passes it, pushing load away from a cluster that cannot
+        keep its indexes fresh.  The shared statistics catalog also learns
+        the pipeline's watermarks, so EXPLAIN reports index staleness and
+        cached plans revalidate when drains move the watermark.
+        """
+        if policy not in STALENESS_POLICIES:
+            raise ValueError(
+                f"unknown staleness policy {policy!r}; choose from "
+                f"{STALENESS_POLICIES}"
+            )
+        self._pipeline = pipeline
+        self._staleness_policy = policy
+        self._max_lag = max(0, int(max_lag))
+        self._max_backlog = max_backlog
+        self.statistics.set_staleness_provider(
+            None if pipeline is None else pipeline.staleness
+        )
+
+    def _check_staleness_admission(self, query: RankJoinQuery) -> int:
+        """Backpressure + shed-policy checks at submit time; returns the
+        read-your-writes drain target (0 when no draining is needed)."""
+        pipeline = self._pipeline
+        if pipeline is None:
+            return 0
+        if self._max_backlog is not None and pipeline.lag() > self._max_backlog:
+            with self._lock:
+                self._counters.backpressure_shed += 1
+            raise ServerOverloadedError(pipeline.lag(), self._max_backlog)
+        policy = self._staleness_policy
+        if policy == "shed":
+            for binding in query.inputs:
+                lag = pipeline.lag(binding.table)
+                if lag > self._max_lag:
+                    with self._lock:
+                        self._counters.staleness_rejects += 1
+                    raise StalenessBoundExceededError(
+                        binding.table, lag, self._max_lag
+                    )
+            return 0
+        if policy == "wait":
+            return pipeline.log.last_sequence
+        return 0
+
+    def _drain_for_query(self, query: RankJoinQuery, drain_target: int) -> None:
+        """Drain the pipeline far enough for this query's policy, under
+        the exclusive (maintenance) lock."""
+        pipeline = self._pipeline
+        if pipeline is None:
+            return
+        policy = self._staleness_policy
+        if policy == "wait":
+            if pipeline.applied_sequence >= drain_target:
+                return
+            with self._lock:
+                self._counters.drains_triggered += 1
+            with self.maintenance(*pipeline.tables):
+                pipeline.drain_until(drain_target)
+        elif policy == "bounded":
+            tables = [binding.table for binding in query.inputs]
+            if all(pipeline.lag(table) <= self._max_lag for table in tables):
+                return
+            with self._lock:
+                self._counters.drains_triggered += 1
+            with self.maintenance(*pipeline.tables):
+                while any(
+                    pipeline.lag(table) > self._max_lag for table in tables
+                ):
+                    if pipeline.drain_batch() == 0:
+                        break
 
     # -- engines -------------------------------------------------------------
 
@@ -431,6 +536,7 @@ class QueryServer:
             index = self._counters.submitted
         try:
             sql, query = self._resolve(text_or_query)
+            drain_target = self._check_staleness_admission(query)
             engine = self.engine()
             name, plan = self._choose(
                 engine, query, algorithm, objective, budget
@@ -449,6 +555,7 @@ class QueryServer:
                 exclusive,
                 deadline_s,
                 time.monotonic(),
+                drain_target,
             )
         except BaseException:
             with self._lock:
@@ -476,6 +583,7 @@ class QueryServer:
         exclusive: bool,
         deadline_s: "float | None",
         submitted_at: float,
+        drain_target: int = 0,
     ) -> ServedQuery:
         waited = time.monotonic() - submitted_at
         served = ServedQuery(
@@ -489,6 +597,10 @@ class QueryServer:
         )
         try:
             self._check_deadline(waited, deadline_s)
+            # bounded-staleness drains happen before the query's own lock
+            # acquisition: the wait/bounded policies catch the indexes up
+            # (exclusively) and the drain time counts as queue wait below
+            self._drain_for_query(query, drain_target)
             guard = self._rwlock.write if exclusive else self._rwlock.read
             with guard():
                 # the read/write lock wait is queue time too: a query that
@@ -597,10 +709,19 @@ class QueryServer:
         Queries drain first (write-preferring lock), none run during the
         block, and the named tables' statistics versions are bumped on
         exit — invalidating every cached plan that priced them.
+
+        A :class:`~repro.maintenance.consistency.MutationFailedError`
+        escaping the block is counted (``stats()["maintenance_failures"]``)
+        before re-raising, so operators see stuck maintenance instead of
+        silent index lag.
         """
         self._rwlock.acquire_write()
         try:
             yield self.platform
+        except MutationFailedError:
+            with self._lock:
+                self._counters.maintenance_failures += 1
+            raise
         finally:
             try:
                 for table in tables:
@@ -632,6 +753,10 @@ class QueryServer:
                 "shed": counters.shed,
                 "deadline_rejects": counters.deadline_rejects,
                 "budget_rejects": counters.budget_rejects,
+                "staleness_rejects": counters.staleness_rejects,
+                "backpressure_shed": counters.backpressure_shed,
+                "drains_triggered": counters.drains_triggered,
+                "maintenance_failures": counters.maintenance_failures,
                 "reader_served": counters.reader_served,
                 "exclusive_served": counters.exclusive_served,
                 "pending": self._pending,
@@ -640,6 +765,10 @@ class QueryServer:
             }
         snapshot["plan_cache"] = self.plan_cache.stats()
         snapshot["latency"] = self.latency_percentiles()
+        if self._pipeline is not None:
+            # dead-letter / mutation-failure visibility: a stuck pipeline
+            # shows up here rather than as silently stale indexes
+            snapshot["maintenance"] = self._pipeline.stats()
         return snapshot
 
     # -- lifecycle -----------------------------------------------------------

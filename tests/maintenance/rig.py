@@ -1,0 +1,128 @@
+"""Shared helpers for the async-maintenance suite.
+
+Every test needs the same rig: a loaded platform with all Q2 indexes
+built, both relations wrapped in interceptors, and a pipeline over them.
+``make_rig`` builds a fresh one (mutation tests cannot share state); the
+helpers compare logical store/index state between two rigs so async
+pipelines can be checked against synchronous twins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import ExperimentSetup, build_setup
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.core.bfhm.algorithm import BFHMRankJoin
+from repro.core.ijlmr import IJLMRRankJoin
+from repro.core.indexes import IJLMR_TABLE, ISL_TABLE
+from repro.core.isl import ISLRankJoin
+from repro.maintenance.interceptor import MaintainedRelation
+from repro.maintenance.worker import MaintenancePipeline
+from repro.tpch.loader import lineitem_by_order_binding, orders_binding
+from repro.tpch.queries import q2
+from repro.tpch.updates import generate_refresh_sets
+
+SCALE = 0.2
+SEED = 42
+
+#: tables whose logical state defines consistency for these tests
+STATE_TABLES = ("orders", "lineitem", IJLMR_TABLE, ISL_TABLE)
+
+
+@dataclass
+class Rig:
+    """One loaded platform + interceptors + (optional) pipeline."""
+
+    setup: ExperimentSetup
+    relations: "dict[str, MaintainedRelation]"
+    pipeline: "MaintenancePipeline | None" = None
+
+    @property
+    def platform(self):
+        """The rig's simulated platform."""
+        return self.setup.platform
+
+    def refreshes(self, count: int = 1):
+        """Deterministic TPC-H refresh sets for this rig's data."""
+        return generate_refresh_sets(self.setup.data, count=count)
+
+
+def make_rig(pipeline_kwargs: "dict | None" = None, **relation_kwargs) -> Rig:
+    """A fresh rig; ``pipeline_kwargs=None`` skips the pipeline (sync twin)."""
+    setup = build_setup(EC2_PROFILE, micro_scale=SCALE, seed=SEED)
+    platform = setup.platform
+    algorithms = {
+        "ijlmr": IJLMRRankJoin(platform),
+        "isl": ISLRankJoin(platform),
+        "bfhm": BFHMRankJoin(platform),
+    }
+    for algorithm in algorithms.values():
+        algorithm.prepare(q2(1))
+        setup.engine.register(algorithm.name.lower(), algorithm)
+    relations = {
+        "orders": MaintainedRelation(
+            platform, orders_binding(), maintain_ijlmr=True,
+            maintain_isl=True, bfhm_manager=algorithms["bfhm"].update_manager,
+            **relation_kwargs,
+        ),
+        "lineitem": MaintainedRelation(
+            platform, lineitem_by_order_binding(), maintain_ijlmr=True,
+            maintain_isl=True, bfhm_manager=algorithms["bfhm"].update_manager,
+            **relation_kwargs,
+        ),
+    }
+    pipeline = None
+    if pipeline_kwargs is not None:
+        pipeline = MaintenancePipeline(
+            platform, relations.values(), **pipeline_kwargs
+        )
+    return Rig(setup, relations, pipeline)
+
+
+def logical_cells(platform, table_name):
+    """Visible cells as (row, family, qualifier, value) — no timestamps.
+
+    Batches share one timestamp where singles draw one each, so state
+    equivalence is at the value level.
+    """
+    return {
+        (row.row, cell.family, cell.qualifier, cell.value)
+        for row in platform.store.backing(table_name).all_rows()
+        for cell in row
+    }
+
+
+def assert_same_state(rig_a: Rig, rig_b: Rig, label: str = "") -> None:
+    """Both rigs expose identical logical base + index state."""
+    for table in STATE_TABLES:
+        assert logical_cells(rig_a.platform, table) == logical_cells(
+            rig_b.platform, table
+        ), f"{table} state diverged {label}"
+
+
+def submit_refresh(rig: Rig, refresh) -> "list[int]":
+    """Enqueue one TPC-H refresh set; returns the logged sequences."""
+    pipeline = rig.pipeline
+    return [
+        pipeline.submit_insert_batch(
+            "orders", [(o["orderkey"], o) for o in refresh.insert_orders]
+        ),
+        pipeline.submit_insert_batch(
+            "lineitem", [(i["rowkey"], i) for i in refresh.insert_lineitems]
+        ),
+        pipeline.submit_delete_batch("orders", refresh.delete_orders),
+        pipeline.submit_delete_batch("lineitem", refresh.delete_lineitems),
+    ]
+
+
+def apply_refresh_sync(rig: Rig, refresh) -> None:
+    """The synchronous twin of :func:`submit_refresh`."""
+    rig.relations["orders"].insert_batch(
+        [(o["orderkey"], o) for o in refresh.insert_orders]
+    )
+    rig.relations["lineitem"].insert_batch(
+        [(i["rowkey"], i) for i in refresh.insert_lineitems]
+    )
+    rig.relations["orders"].delete_batch(refresh.delete_orders)
+    rig.relations["lineitem"].delete_batch(refresh.delete_lineitems)

@@ -1,0 +1,132 @@
+"""Retry backoff: deterministic exponential waits charged to sim time.
+
+Satellite for the async-maintenance PR: :class:`RetryPolicy` grows an
+exponential-backoff schedule with deterministic, seedable jitter, and
+:func:`with_retries` charges each wait to the metrics collector as
+simulated latency.  The default policy must stay frozen — zero backoff,
+zero cost — so every pre-existing caller behaves byte-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.maintenance.consistency import (
+    MutationFailedError,
+    RetryPolicy,
+    with_retries,
+)
+
+
+class _FakeMetrics:
+    def __init__(self) -> None:
+        self.charged: "list[float]" = []
+
+    def advance_time(self, seconds: float) -> None:
+        self.charged.append(seconds)
+
+
+class TestBackoffSchedule:
+    def test_default_policy_is_frozen_zero_backoff(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 8
+        assert all(policy.backoff_s(attempt) == 0.0 for attempt in range(8))
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            initial_backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.5
+        )
+        delays = [policy.backoff_s(a) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            initial_backoff_s=1.0, max_backoff_s=1.0, jitter_fraction=0.5
+        )
+        first = [policy.backoff_s(a) for a in range(6)]
+        second = [policy.backoff_s(a) for a in range(6)]
+        assert first == second  # pure function of (seed, attempt)
+        assert all(0.5 <= delay <= 1.0 for delay in first)
+        assert len(set(first)) > 1  # jitter actually de-synchronizes
+
+    def test_jitter_seed_decorrelates_workers(self):
+        base = RetryPolicy(initial_backoff_s=1.0, jitter_fraction=0.5)
+        other = RetryPolicy(
+            initial_backoff_s=1.0, jitter_fraction=0.5, jitter_seed=7
+        )
+        assert [base.backoff_s(a) for a in range(4)] != [
+            other.backoff_s(a) for a in range(4)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"initial_backoff_s": -1.0},
+            {"jitter_fraction": 1.5},
+            {"jitter_fraction": -0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryCharging:
+    def test_each_failed_attempt_charges_its_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=4, initial_backoff_s=0.1, max_backoff_s=10.0
+        )
+        metrics = _FakeMetrics()
+        attempts = []
+
+        def mutation():
+            attempts.append(len(attempts))
+            if len(attempts) < 4:
+                raise MutationFailedError("transient")
+            return "ok"
+
+        assert with_retries(mutation, policy, metrics=metrics) == "ok"
+        assert metrics.charged == [policy.backoff_s(a) for a in range(3)]
+
+    def test_final_attempt_charges_nothing(self):
+        """The exhausted attempt raises instead of waiting: no wait is
+        billed for a retry that never happens."""
+        policy = RetryPolicy(max_attempts=3, initial_backoff_s=0.1)
+        metrics = _FakeMetrics()
+        with pytest.raises(MutationFailedError):
+            with_retries(
+                lambda: (_ for _ in ()).throw(MutationFailedError("x")),
+                policy,
+                metrics=metrics,
+            )
+        assert metrics.charged == [policy.backoff_s(0), policy.backoff_s(1)]
+
+    def test_default_policy_charges_nothing(self):
+        metrics = _FakeMetrics()
+        flaky = {"calls": 0}
+
+        def mutation():
+            flaky["calls"] += 1
+            if flaky["calls"] < 3:
+                raise MutationFailedError("transient")
+            return flaky["calls"]
+
+        assert with_retries(mutation, RetryPolicy(), metrics=metrics) == 3
+        assert metrics.charged == []
+
+    def test_injector_failures_also_back_off(self):
+        policy = RetryPolicy(max_attempts=3, initial_backoff_s=0.25)
+        metrics = _FakeMetrics()
+        result = with_retries(
+            lambda: "done",
+            policy,
+            failure_injector=lambda attempt: attempt == 0,
+            metrics=metrics,
+        )
+        assert result == "done"
+        assert metrics.charged == [policy.backoff_s(0)]
+
+    def test_no_metrics_still_works(self):
+        policy = RetryPolicy(max_attempts=2, initial_backoff_s=0.1)
+        assert with_retries(lambda: 42, policy) == 42
