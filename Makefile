@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest docs-check examples all
+.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest lint lint-changed docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -59,6 +59,17 @@ bench-ingest:
 	BENCH_INGEST_OUT=BENCH_ingest.candidate.json $(PYTHON) -m pytest benchmarks/test_ingest.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_ingest.json BENCH_ingest.candidate.json
 
+## repro-lint (lock discipline / determinism / metering / exception
+## safety), the gated typed-core mypy check, and the docs checks
+lint:
+	$(PYTHON) -m tools.analyze src/repro
+	$(PYTHON) -m tools.run_mypy
+	$(PYTHON) tools/docs_check.py
+
+## fast local loop: lint only files changed vs HEAD
+lint-changed:
+	$(PYTHON) -m tools.analyze --changed src/repro
+
 ## docstring coverage + README code blocks actually run
 docs-check:
 	$(PYTHON) tools/docs_check.py
@@ -69,4 +80,4 @@ examples:
 	$(PYTHON) examples/explain_plan.py
 	$(PYTHON) examples/multiway_explain.py
 
-all: test docs-check
+all: test lint

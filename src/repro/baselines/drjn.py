@@ -148,7 +148,7 @@ class DRJNRankJoin(RankJoinAlgorithm):
             table = platform.store.backing(DRJN_TABLE)
             return sum(
                 cell.serialized_size()
-                for row in table.all_rows(families={signature})
+                for row in table.all_rows(families={signature})  # lint: disable=RL301 (index-size accounting for the build report; the build job itself is metered)
                 for cell in row
             )
 
@@ -241,9 +241,47 @@ class DRJNRankJoin(RankJoinAlgorithm):
 
         temp_table = f"drjn_tmp_{signatures[0]}_{signatures[1]}"[:120]
         if platform.store.has_table(temp_table):
-            platform.store.drop_table(temp_table)
+            # defensive: a prior crashed run left its scratch table behind
+            platform.store.drop_table(temp_table)  # lint: disable=RL403 (pre-create sweep of a leftover table, not this run's cleanup)
         platform.store.create_table(temp_table, set(signatures))
 
+        estimate = 0.0
+        next_bucket = 0
+        results: list[JoinTuple] = []
+        rounds = 0
+
+        try:
+            results, rounds, next_bucket = self._drive_rounds(
+                query, signatures, bindings, meta, fetched, pulled,
+                pulled_low, temp_table,
+            )
+        finally:
+            platform.store.drop_table(temp_table)
+        details.set("rounds", rounds)
+        details.set("pulled_left", len(pulled[0]))
+        details.set("pulled_right", len(pulled[1]))
+        return results[: k]
+
+    def _drive_rounds(
+        self,
+        query: RankJoinQuery,
+        signatures,
+        bindings,
+        meta,
+        fetched,
+        pulled,
+        pulled_low,
+        temp_table: str,
+    ) -> "tuple[list[JoinTuple], int, int]":
+        """The DRJN fetch/estimate/pull/join round loop (§ fig. 5 protocol).
+
+        Split out of :meth:`_run` so the scratch-table lifetime there is a
+        flat create / ``try`` / ``finally: drop`` — a mid-round failure
+        (store fault injection, interrupted run) no longer leaks the
+        ``drjn_tmp_*`` table into later queries' scans.
+        """
+        function = query.function
+        k = query.k
         estimate = 0.0
         next_bucket = 0
         results: list[JoinTuple] = []
@@ -296,11 +334,7 @@ class DRJNRankJoin(RankJoinAlgorithm):
                 break
             estimate = 0.0  # force the next round to fetch deeper rows
 
-        platform.store.drop_table(temp_table)
-        details.set("rounds", rounds)
-        details.set("pulled_left", len(pulled[0]))
-        details.set("pulled_right", len(pulled[1]))
-        return results[: k]
+        return results, rounds, next_bucket
 
     def _estimate(self, fetched, meta) -> float:
         """Uniform-frequency cardinality estimate over fetched bucket pairs."""

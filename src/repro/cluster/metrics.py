@@ -81,6 +81,10 @@ class MetricsCollector:
         if value > self.counters.get(name, float("-inf")):
             self.counters[name] = value
 
+    def set_counter(self, name: str, value: float) -> None:
+        """Overwrite a named counter (e.g. rebasing a per-phase peak)."""
+        self.counters[name] = value
+
     def snapshot(self) -> MetricsSnapshot:
         """Immutable copy of the current totals."""
         return MetricsSnapshot(

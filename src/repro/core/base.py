@@ -142,12 +142,12 @@ class RankJoinAlgorithm(ABC):
         """Run ``build()`` (returning index bytes) under the meter."""
         metrics = self.platform.metrics
         peak_before = metrics.counters.get("reducer_peak_bytes", 0.0)
-        metrics.counters["reducer_peak_bytes"] = 0.0
+        metrics.set_counter("reducer_peak_bytes", 0.0)
         before = metrics.snapshot()
         index_bytes = build()
         after = metrics.snapshot()
         peak_during = metrics.counters.get("reducer_peak_bytes", 0.0)
-        metrics.counters["reducer_peak_bytes"] = max(peak_before, peak_during)
+        metrics.set_counter("reducer_peak_bytes", max(peak_before, peak_during))
         return IndexBuildReport(
             index_name=index_name,
             signature=signature,

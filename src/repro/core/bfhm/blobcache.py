@@ -35,15 +35,15 @@ class DecodedBlobCache:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self.capacity = capacity
-        self._entries: "OrderedDict[bytes, tuple[int, int, dict[int, int]]]" = (
-            OrderedDict()
-        )
         # the shared instance is hammered from every serving worker; LRU
         # reordering (move_to_end/popitem) is a structural mutation of the
         # OrderedDict and tears without mutual exclusion
+        self._entries: "OrderedDict[bytes, tuple[int, int, dict[int, int]]]" = (
+            OrderedDict()
+        )  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
 
     def decode(self, raw: bytes) -> HybridBloomFilter:
         """A fresh :class:`HybridBloomFilter` equal to the decoded form of
@@ -84,7 +84,8 @@ class DecodedBlobCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: the shared process-wide instance used by the BFHM read paths

@@ -82,7 +82,7 @@ class IJLMRRankJoin(RankJoinAlgorithm):
         table = self.platform.store.backing(IJLMR_TABLE)
         return sum(
             cell.serialized_size()
-            for row in table.all_rows(families={signature})
+            for row in table.all_rows(families={signature})  # lint: disable=RL301 (index-size accounting for the build report; the build job itself is metered)
             for cell in row
         )
 

@@ -51,7 +51,7 @@ def family_built(platform: Platform, table_name: str, family: str) -> bool:
     table = platform.store.backing(table_name)
     if family not in table.families:
         return False
-    for row in table.all_rows(families={family}):
+    for row in table.all_rows(families={family}):  # lint: disable=RL301 (existence probe during adoption/registration; not part of any query's cost)
         if not row.empty:
             return True
     return False

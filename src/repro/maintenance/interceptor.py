@@ -217,7 +217,7 @@ class MaintainedRelation:
         # dedupe up front: all existence reads happen before any tombstone
         # lands, so a repeated key would otherwise count (and mutate) twice
         for row_key in dict.fromkeys(row_keys):
-            existing = backing.read_row(row_key, families={binding.family})
+            existing = backing.read_row(row_key, families={binding.family})  # lint: disable=RL301 (delete resolution is billed as one batched read by the caller, not per probed row)
             if not existing.empty:
                 scored = row_to_scored(binding, existing)
                 found.append((row_key, scored.join_value, scored.score))

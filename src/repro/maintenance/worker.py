@@ -176,27 +176,27 @@ class MaintenancePipeline:
 
         self.log = SequencedLog()
         self._lock = threading.RLock()
-        self._crashed = False
-        self._halted = False
-        self._batch_index = 0
+        self._crashed = False  # guarded-by: _lock
+        self._halted = False  # guarded-by: _lock
+        self._batch_index = 0  # guarded-by: _lock
 
         # per-table watermarks (rebuilt from durable state by recover())
-        self._pending: "dict[str, int]" = {}
-        self._applied_sequence: "dict[str, int]" = {}
-        self._last_sequence: "dict[str, int]" = {}
+        self._pending: "dict[str, int]" = {}  # guarded-by: _lock
+        self._applied_sequence: "dict[str, int]" = {}  # guarded-by: _lock
+        self._last_sequence: "dict[str, int]" = {}  # guarded-by: _lock
 
         # the DLQ models a durable side queue: a dead-lettered record is
         # out of the replay path even across crashes
-        self.dead_letters: "list[DeadLetter]" = []
-        self._dead_sequences: "set[int]" = set()
+        self.dead_letters: "list[DeadLetter]" = []  # guarded-by: _lock
+        self._dead_sequences: "set[int]" = set()  # guarded-by: _lock
 
         # counters (reset nowhere: they describe the pipeline's lifetime)
-        self.records_submitted = 0
-        self.records_applied = 0
-        self.rows_applied = 0
-        self.mutation_failures = 0
-        self.batches_drained = 0
-        self.recoveries = 0
+        self.records_submitted = 0  # guarded-by: _lock
+        self.records_applied = 0  # guarded-by: _lock
+        self.rows_applied = 0  # guarded-by: _lock
+        self.mutation_failures = 0  # guarded-by: _lock
+        self.batches_drained = 0  # guarded-by: _lock
+        self.recoveries = 0  # guarded-by: _lock
 
     # -- enqueue -------------------------------------------------------------
 
@@ -284,12 +284,16 @@ class MaintenancePipeline:
     @property
     def crashed(self) -> bool:
         """True after an (injected) worker crash until :meth:`recover`."""
-        return self._crashed
+        with self._lock:
+            return self._crashed
 
     # -- draining ------------------------------------------------------------
 
-    def _reach(self, point: str) -> None:
-        """Announce a drain point; injected crashes surface here."""
+    def _reach(self, point: str) -> None:  # lint: holds-lock(_lock)
+        """Announce a drain point; injected crashes surface here.
+
+        Only called from :meth:`drain_batch`, which already holds ``_lock``.
+        """
         if self.faults is not None:
             try:
                 self.faults.on_drain_point(point, self._batch_index)
@@ -299,8 +303,11 @@ class MaintenancePipeline:
                 self._crashed = True
                 raise
 
-    def _apply_record(self, sequence: int, record: MutationRecord) -> None:
-        """Apply one record (resolving deletes first) with §6 semantics."""
+    def _apply_record(self, sequence: int, record: MutationRecord) -> None:  # lint: holds-lock(_lock)
+        """Apply one record (resolving deletes first) with §6 semantics.
+
+        Only called from :meth:`drain_batch`, which already holds ``_lock``.
+        """
         relation = self._relation(record.table)
         if record.op == _OP_DELETE:
             if record.resolved is None:
@@ -496,7 +503,7 @@ class BackgroundDrainer:
     def __init__(
         self,
         pipeline: MaintenancePipeline,
-        server=None,
+        server: "Any | None" = None,
         interval_s: float = 0.005,
     ) -> None:
         self.pipeline = pipeline
@@ -533,11 +540,13 @@ class BackgroundDrainer:
     def stop(self, drain: bool = True, timeout_s: float = 10.0) -> None:
         """Stop the thread; ``drain=True`` first waits for an empty backlog."""
         if drain:
-            deadline = time.monotonic() + timeout_s
-            while self.pipeline.lag() > 0 and time.monotonic() < deadline:
+            # real-thread pacing of the drain loop — never feeds the
+            # simulated cost model, so wall-clock use here is sound
+            deadline = time.monotonic() + timeout_s  # lint: disable=RL201 (real-thread shutdown deadline, not simulated time)
+            while self.pipeline.lag() > 0 and time.monotonic() < deadline:  # lint: disable=RL201 (real-thread shutdown deadline, not simulated time)
                 if self.pipeline.crashed:
                     break
-                time.sleep(self.interval_s)
+                time.sleep(self.interval_s)  # lint: disable=RL201 (real-thread drain pacing, not simulated time)
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=timeout_s)

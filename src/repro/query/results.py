@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cluster.metrics import MetricsSnapshot
 from repro.common.multiway import MultiJoinTuple
 from repro.common.types import JoinTuple
 
 
-def _score_multiset_recall(want_scores, got_scores) -> float:
+def _score_multiset_recall(
+    want_scores: "Iterable[float]", got_scores: "Iterable[float]"
+) -> float:
     """Score-multiset recall — rank joins may break ties arbitrarily, so
     recall compares the multiset of scores (what the paper's 100%-recall
     claim is about), not row identities."""

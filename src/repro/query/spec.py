@@ -18,6 +18,7 @@ pervasive two-way case.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.functions import AggregateFunction, resolve_function
 from repro.errors import QueryError
@@ -32,7 +33,7 @@ class RankJoinQuery:
     function: AggregateFunction
     k: int
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         """Accepts the n-ary form ``(inputs, function, k)`` and, for
         compatibility, the historical two-way form
         ``(left, right, function, k)`` — positionally or by keyword."""
@@ -89,8 +90,8 @@ class RankJoinQuery:
 
     @staticmethod
     def of(
-        *args,
-        **kwargs,
+        *args: Any,
+        **kwargs: Any,
     ) -> "RankJoinQuery":
         """Convenience constructor accepting a function name.
 

@@ -215,7 +215,7 @@ def _family_footprint(
     if family not in table.families:
         return (0, 0, 0)
     rows = cells = total = 0
-    for row in table.all_rows(families={family}):
+    for row in table.all_rows(families={family}):  # lint: disable=RL301 (statistics gathering models catalog metadata, free by design — see gather_statistics)
         if row.empty:
             continue
         rows += 1
@@ -250,7 +250,7 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
     from repro.common.serialization import decode_float, decode_str
     from repro.core.bfhm.bucket import META_ROW, Q_M_BITS, Q_MAX, Q_MIN, Q_NUM_BUCKETS
 
-    meta_row = table.read_row(META_ROW, families={family})
+    meta_row = table.read_row(META_ROW, families={family})  # lint: disable=RL301 (statistics gathering models catalog metadata, free by design — see gather_statistics)
     num_buckets_raw = meta_row.value(family, Q_NUM_BUCKETS)
     m_bits_raw = meta_row.value(family, Q_M_BITS)
     if num_buckets_raw is None or m_bits_raw is None:
@@ -262,7 +262,7 @@ def _bfhm_index_stats(platform: Platform, signature: str) -> "BFHMIndexStatistic
     bucket_scores: dict[int, tuple[float, float]] = {}
     reverse_rows = reverse_cells = reverse_bytes = 0
     rows = cells = total = 0
-    for row in table.all_rows(families={family}):
+    for row in table.all_rows(families={family}):  # lint: disable=RL301 (statistics gathering models catalog metadata, free by design — see gather_statistics)
         if row.empty:
             continue
         rows += 1
@@ -360,7 +360,7 @@ def gather_statistics(
     backing = platform.store.backing(binding.table)
     total_cells = 0
     total_row_bytes = 0
-    for row in backing.all_rows(families={binding.family}):
+    for row in backing.all_rows(families={binding.family}):  # lint: disable=RL301 (statistics gathering models catalog metadata, free by design — see gather_statistics)
         total_cells += len(row)
         total_row_bytes += row.serialized_size()
 
@@ -405,19 +405,19 @@ class StatisticsCatalog:
     def __init__(self, platform: Platform, num_buckets: int = PLANNER_NUM_BUCKETS) -> None:
         self.platform = platform
         self.num_buckets = num_buckets
-        self._cache: dict[tuple[str, str], TableStatistics] = {}
+        self._cache: dict[tuple[str, str], TableStatistics] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
-        self.gather_count = 0
-        self.invalidation_count = 0
+        self.gather_count = 0  # guarded-by: _lock
+        self.invalidation_count = 0  # guarded-by: _lock
         #: bumped on every invalidation; consumers (the planner's plan
         #: cache) use it to detect that cached derivations went stale
-        self.version = 0
+        self.version = 0  # guarded-by: _lock
         #: per-base-table invalidation counters — lets a shared plan cache
         #: invalidate only the plans whose input tables actually changed
-        self._table_versions: dict[str, int] = {}
+        self._table_versions: dict[str, int] = {}  # guarded-by: _lock
         #: bumped only by :meth:`invalidate_all` (catalog-wide resets such
         #: as an engine rebuild); plan-cache entries also validate this
-        self.epoch = 0
+        self.epoch = 0  # guarded-by: _lock
         #: duck-typed async-maintenance hookup: a callable mapping a base
         #: table name to a staleness snapshot (``None`` when the table has
         #: no async pipeline) — see

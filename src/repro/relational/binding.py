@@ -68,5 +68,5 @@ def load_relation(store: Store, binding: RelationBinding) -> list[ScoredRow]:
     table: StoreTable = store.backing(binding.table)
     return [
         row_to_scored(binding, row)
-        for row in table.all_rows(families={binding.family})
+        for row in table.all_rows(families={binding.family})  # lint: disable=RL301 (test/benchmark data loading helper; never on a measured query path)
     ]

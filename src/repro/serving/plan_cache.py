@@ -25,10 +25,23 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Sequence
+from typing import Any, Hashable, Protocol, Sequence
 
 #: default number of cached plans (a plan is a few KB of estimates)
 DEFAULT_CAPACITY = 128
+
+
+class CatalogProtocol(Protocol):
+    """What the cache needs from a statistics catalog (duck-typed so the
+    serving layer never imports the query layer): per-table monotonic
+    versions plus a global epoch.  ``applied_watermark`` is probed with
+    ``getattr`` and therefore deliberately absent here."""
+
+    epoch: int
+
+    def table_version(self, name: str) -> int:
+        """Monotonic invalidation counter of base table ``name``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -59,15 +72,15 @@ class PlanCache:
     query" baseline in the serving benchmark.
     """
 
-    def __init__(self, catalog, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(self, catalog: CatalogProtocol, capacity: int = DEFAULT_CAPACITY) -> None:
         self.catalog = catalog
         self.capacity = capacity
-        self._entries: "OrderedDict[Hashable, CachedPlan]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, CachedPlan]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
 
     # -- version bookkeeping -------------------------------------------------
 
@@ -107,7 +120,7 @@ class PlanCache:
 
     # -- cache protocol ------------------------------------------------------
 
-    def lookup(self, key: Hashable):
+    def lookup(self, key: Hashable) -> "Any | None":
         """The cached plan for ``key``, or ``None`` on miss/stale entry."""
         with self._lock:
             entry = self._entries.get(key)
@@ -158,21 +171,28 @@ class PlanCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> "dict[str, float]":
         """Hit/miss/eviction/invalidation counters plus size and hit rate."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-            "hit_rate": self.hit_rate,
-        }
+        # one consistent snapshot: counters and size are read under the
+        # same lock acquisition (hit_rate is recomputed inline because the
+        # property takes this non-reentrant lock itself)
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -103,9 +103,9 @@ class _ReadWriteLock:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
+        self._readers = 0  # guarded-by: _cond
+        self._writer_active = False  # guarded-by: _cond
+        self._writers_waiting = 0  # guarded-by: _cond
 
     def acquire_read(self) -> None:
         """Block until no writer is active or waiting, then join readers."""
@@ -277,14 +277,14 @@ class QueryServer:
         )
 
         self._lock = threading.Lock()
-        self._closed = False
-        self._pending = 0
-        self._counters = _Counters()
+        self._closed = False  # guarded-by: _lock
+        self._pending = 0  # guarded-by: _lock
+        self._counters = _Counters()  # guarded-by: _lock
 
         self._statement_capacity = max(0, int(statement_cache_capacity))
         self._statements: "OrderedDict[tuple[str, str], RankJoinQuery]" = (
             OrderedDict()
-        )
+        )  # guarded-by: _lock
 
         # async-maintenance hookup (attach_maintenance)
         self._pipeline = None

@@ -27,6 +27,33 @@ def _make_setup() -> ExperimentSetup:
     return build_setup(EC2_PROFILE, micro_scale=TEST_SCALE, seed=TEST_SEED)
 
 
+@pytest.fixture(autouse=True)
+def lock_order_guard(request):
+    """Runtime half of repro-lint's lock discipline (see RL1xx).
+
+    Under the ``stress``/``chaos`` markers every lock created inside
+    ``src/repro`` is traced, and the test fails if the run's lock
+    acquisition-order graph has a cycle (a latent deadlock), even when
+    the interleaving that would actually deadlock never fired.  The
+    sanctioned hierarchy is documented in ``docs/ARCHITECTURE.md``.
+    """
+    if (
+        request.node.get_closest_marker("stress") is None
+        and request.node.get_closest_marker("chaos") is None
+    ):
+        yield
+        return
+    from repro.common.locktrace import LockTracer
+
+    tracer = LockTracer().install()
+    try:
+        yield
+    finally:
+        tracer.uninstall()
+    cycle = tracer.find_cycle()
+    assert cycle is None, tracer.explain(cycle)
+
+
 @pytest.fixture(scope="session")
 def shared_setup() -> ExperimentSetup:
     """Loaded platform + engine shared by read-only tests."""

@@ -1,0 +1,5 @@
+# Fixture corpus for the repro-lint rule tests.  Each <rule>_bad.py file
+# carries deliberate violations whose exact (rule, line) pairs are
+# asserted by tests/lint/test_rules.py; each <rule>_good.py file is the
+# compliant twin and must lint clean.  These files are parsed, never
+# imported or executed (keep them import-free of heavy modules anyway).

@@ -1,0 +1,21 @@
+# lint: scope=src,simulated
+"""Determinism violations (RL201/RL202/RL203) in a simulated-cost path."""
+
+import os
+import random
+import time
+
+
+def sample_cost():
+    started = time.time()  # line 10: RL201 wall-clock
+    jitter = random.random()  # line 11: RL202 unseeded randomness
+    salt = os.urandom(8)  # line 12: RL202 os entropy
+    generator = random.Random()  # line 13: RL202 zero-arg Random()
+    return started, jitter, salt, generator
+
+
+def fan_out(region_ids):
+    for region_id in {str(r) for r in region_ids}:  # line 18: RL203 set comprehension
+        yield region_id
+    ordered = list({1, 2, 3})  # line 20: RL203 list(set literal)
+    return ordered, [x for x in {1, 2, 3}]  # line 21: RL203 set literal

@@ -1,0 +1,18 @@
+# lint: scope=simulated
+"""Deterministic twins of determinism_bad.py: simulated clocks, seeded
+randomness, and sorted set iteration."""
+
+import random
+
+
+def sample_cost(ctx):
+    started = ctx.sim_time_s  # the simulated clock, not the wall clock
+    generator = random.Random(42)  # seeded: reproducible
+    return started, generator.random()
+
+
+def fan_out(region_ids):
+    pending = {region_id for region_id in region_ids}
+    for region_id in sorted(pending):  # sorted: order is total
+        yield region_id
+    return [x for x in sorted({1, 2, 3})]

@@ -1,0 +1,22 @@
+# lint: scope=src,metered
+"""Exception-safety violations (RL401/RL402/RL403)."""
+
+
+def bare_acquire(lock, work):
+    lock.acquire()  # line 6: RL401 no try/finally follows
+    work()
+    lock.release()  # line 8: RL402 release outside finally
+
+
+def handler_side_unlock(lock, work):
+    lock.acquire()  # line 12: RL401 (the try that follows has no finally)
+    try:
+        work()
+    except RuntimeError:
+        lock.release()  # line 16: RL402 release outside finally
+
+
+def leak_temp_family(store, work):
+    store.create_table("tmp", {"f"})
+    work("tmp")
+    store.drop_table("tmp")  # line 22: RL403 skipped if work() raises

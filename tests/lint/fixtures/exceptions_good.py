@@ -1,0 +1,40 @@
+# lint: scope=metered
+"""Exception-safe twins: with-statements, try/finally, cleanup helpers."""
+
+
+def with_statement(lock, work):
+    with lock:
+        work()
+
+
+def acquire_with_finally(lock, work):
+    lock.acquire()
+    try:
+        work()
+    finally:
+        lock.release()
+
+
+def temp_family_with_finally(store, work):
+    store.create_table("tmp", {"f"})
+    try:
+        work("tmp")
+    finally:
+        store.drop_table("tmp")
+
+
+def cleanup_scratch(store):
+    # a cleanup-named function IS the discharge path
+    store.drop_table("tmp")
+
+
+class LockWrapper:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def acquire(self):
+        # wrapper methods forward without their own try/finally
+        self._inner.acquire()
+
+    def release(self):
+        self._inner.release()

@@ -1,0 +1,26 @@
+"""Lock-discipline violations (RL101/RL102)."""
+
+import threading
+
+
+class LeakyCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def get(self, key):
+        value = self._entries.get(key)  # line 13: RL101 unguarded read
+        if value is not None:
+            self.hits += 1  # line 15: RL102 unguarded write
+        return value
+
+    def put(self, key, value):
+        self._entries[key] = value  # line 19: RL102 unguarded write
+
+    def evict_all(self):
+        self._entries.clear()  # line 22: RL102 mutator call is a write
+
+    def size(self):
+        with self._lock:
+            return len(self._entries)  # locked: clean

@@ -1,0 +1,39 @@
+"""Compliant lock discipline: every access under the lock, a
+writes-only snapshot structure, and a locked-helper pragma."""
+
+import threading
+
+
+class TidyCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+
+    def get(self, key):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._bump()
+
+    def _bump(self):  # lint: holds-lock(_lock)
+        self.hits += 1
+
+
+class SnapshotTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows = ()  # guarded-by: _lock (writes)
+
+    def rows(self):
+        return self._rows  # lock-free read of a rebound snapshot: clean
+
+    def rebind(self, rows):
+        with self._lock:
+            self._rows = tuple(rows)

@@ -1,0 +1,17 @@
+# lint: scope=metered
+"""Metering violations (RL301/RL302) in a metered query path."""
+
+
+def scan_for_free(store, family):
+    table = store.backing("part")
+    total = 0
+    for row in table.all_rows(families={family}):  # line 8: RL301
+        total += len(row)
+    meta = table.read_row("meta", families={family})  # line 10: RL301
+    return total, meta
+
+
+def cook_the_books(metrics):
+    metrics.sim_time_s = 0.0  # line 15: RL302 raw metric store
+    metrics.kv_reads += 10  # line 16: RL302 raw metric bump
+    metrics.counters["tuples"] = 99  # line 17: RL302 raw counter store

@@ -1,0 +1,26 @@
+# lint: scope=metered
+"""Compliant metering: the HTable client and collector APIs."""
+
+
+def scan_metered(store, family, scan, get):
+    htable = store.table("part")
+    total = 0
+    for row in htable.scan(scan):  # metered scan
+        total += len(row)
+    meta = htable.get(get)  # metered get
+    return total, meta
+
+
+def account(metrics):
+    metrics.advance_time(0.25)
+    metrics.add_kv_reads(10)
+    metrics.bump("tuples", 99)
+    metrics.set_counter("reducer_peak_bytes", 0.0)
+
+
+def justified_raw_read(store, family):
+    table = store.backing("part")
+    return sum(  # size accounting below is documented as unmetered
+        len(row)
+        for row in table.all_rows(families={family})  # lint: disable=RL301 (fixture: documented unmetered size accounting)
+    )

@@ -1,0 +1,12 @@
+# lint: scope=simulated
+"""Pragma-hygiene violations (RL001/RL002)."""
+
+import time
+
+
+def undocumented_silence():
+    return time.time()  # lint: disable=RL201
+
+
+def unknown_rule():
+    return 1  # lint: disable=RL999 (no such rule in the catalog)

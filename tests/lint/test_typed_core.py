@@ -1,0 +1,100 @@
+"""Tier-1 enforcement of the typed core without a mypy dependency.
+
+``make lint`` runs mypy against the strict allowlist in ``mypy.ini`` when
+mypy is installed (CI always installs it; ``tools/run_mypy.py`` skips
+gracefully elsewhere).  These tests keep the floor up in environments
+without mypy: every typed-core module must have a complete annotation
+surface (no bare defs) and every annotation must actually *resolve* —
+``typing.get_type_hints`` imports and evaluates each one, so a renamed
+class or a typo in a forward reference fails here, not in CI only.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import typing
+from pathlib import Path
+
+import pytest
+
+#: keep in sync with the per-module strict blocks in mypy.ini
+TYPED_CORE = [
+    "repro.common.types",
+    "repro.store.cell",
+    "repro.query.spec",
+    "repro.query.results",
+    "repro.serving.plan_cache",
+    "repro.maintenance.worker",
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _module_path(name: str) -> Path:
+    return REPO_ROOT / "src" / Path(*name.split(".")).with_suffix(".py")
+
+
+@pytest.mark.parametrize("name", TYPED_CORE)
+def test_every_def_is_fully_annotated(name: str) -> None:
+    tree = ast.parse(_module_path(name).read_text())
+    bare: "list[str]" = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.returns is None:
+            bare.append(f"{node.name}:{node.lineno} (return)")
+        for arg in (
+            list(node.args.posonlyargs)
+            + list(node.args.args)
+            + list(node.args.kwonlyargs)
+            + [a for a in (node.args.vararg, node.args.kwarg) if a]
+        ):
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                bare.append(f"{node.name}:{node.lineno} ({arg.arg})")
+    assert not bare, f"unannotated defs in {name}: {bare}"
+
+
+@pytest.mark.parametrize("name", TYPED_CORE)
+def test_every_annotation_resolves(name: str) -> None:
+    module = importlib.import_module(name)
+    typing.get_type_hints(module)
+    for _, member in inspect.getmembers(module):
+        if inspect.isfunction(member) and member.__module__ == name:
+            typing.get_type_hints(member)
+        elif inspect.isclass(member) and member.__module__ == name:
+            typing.get_type_hints(member)
+            for _, method in inspect.getmembers(member, inspect.isfunction):
+                if method.__module__ == name:
+                    typing.get_type_hints(method)
+
+
+def test_mypy_allowlist_matches_typed_core() -> None:
+    """mypy.ini's strict blocks and TYPED_CORE must not drift apart."""
+    config = (REPO_ROOT / "mypy.ini").read_text()
+    sections = {
+        line.strip()[len("[mypy-"):-1]
+        for line in config.splitlines()
+        if line.strip().startswith("[mypy-")
+    }
+    assert sections == set(TYPED_CORE)
+
+
+def test_run_mypy_is_gated() -> None:
+    """The lint pipeline must not hard-require mypy at runtime."""
+    import subprocess
+    import sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "tools.run_mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        assert completed.returncode == 0
+        assert "skipping" in completed.stdout

@@ -1,0 +1,5 @@
+"""Repository tooling (lint, docs checks, bench diffing).
+
+Making ``tools`` a package lets ``python -m tools.analyze`` run repro-lint
+from the repository root without any installation step.
+"""

@@ -1,0 +1,7 @@
+"""``python -m tools.analyze`` — the repro-lint CLI."""
+
+import sys
+
+from tools.analyze.runner import main
+
+sys.exit(main())

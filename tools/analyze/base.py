@@ -1,0 +1,196 @@
+"""Shared infrastructure of the repro-lint checkers.
+
+A checker consumes a :class:`ModuleInfo` (parsed AST + per-line comments +
+scope tags) and yields :class:`Finding` objects.  Suppression is handled
+here, uniformly for every rule:
+
+* ``# lint: disable=RL301 (reason)`` on the finding's line suppresses it.
+  The reason string is **mandatory** — a disable without one raises
+  ``RL001`` so silenced findings stay documented at the silencing site.
+* ``# guarded-by: _lock`` / ``# guarded-by: _lock (writes)`` declares a
+  guarded attribute (consumed by the lock-discipline checker).
+* ``# lint: holds-lock(_lock)`` on a ``def`` line declares the function is
+  only called with ``_lock`` already held (a locked-helper convention).
+* ``# lint: scope=simulated,metered`` anywhere in a file forces scope
+  membership — used by the fixture corpus, which lives outside ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+from tools.analyze.rules import RULES, is_known
+
+_DISABLE_RE = re.compile(
+    r"lint:\s*disable=(?P<rules>RL\d{3}(?:\s*,\s*RL\d{3})*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+_GUARDED_RE = re.compile(
+    r"guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\s*\((?P<mode>writes)\))?"
+)
+_HOLDS_RE = re.compile(r"lint:\s*holds-lock\((?P<lock>[A-Za-z_][A-Za-z0-9_]*)\)")
+_SCOPE_RE = re.compile(r"lint:\s*scope=(?P<scopes>[a-z]+(?:\s*,\s*[a-z]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RLxxx (name) message`` — the text output row."""
+        name = RULES[self.rule_id].name if is_known(self.rule_id) else "?"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} ({name}) {self.message}"
+        )
+
+    def as_json(self) -> "dict[str, object]":
+        """The ``--json`` representation (one object per finding)."""
+        return {
+            "rule": self.rule_id,
+            "name": RULES[self.rule_id].name if is_known(self.rule_id) else None,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """A ``guarded-by`` declaration: which lock, and whether only writes
+    are required to hold it (lock-free snapshot-read designs)."""
+
+    lock: str
+    writes_only: bool = False
+
+
+class ModuleInfo:
+    """A parsed source file plus the comment-borne lint metadata."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: line number -> full comment text on that line
+        self.comments: "dict[int, str]" = {}
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                self.comments[token.start[0]] = token.string
+        #: scopes forced by `# lint: scope=` pragmas (fixture corpus)
+        self.forced_scopes: "set[str]" = set()
+        #: line -> list of (rule_id, reason-or-None) disable pragmas
+        self.disables: "dict[int, list[tuple[str, str | None]]]" = {}
+        #: line -> lock name from a holds-lock pragma
+        self.holds_lock: "dict[int, str]" = {}
+        #: line -> guarded-by declaration
+        self.guard_decls: "dict[int, GuardDecl]" = {}
+        for line, text in self.comments.items():
+            match = _SCOPE_RE.search(text)
+            if match:
+                self.forced_scopes.update(
+                    part.strip() for part in match.group("scopes").split(",")
+                )
+            match = _DISABLE_RE.search(text)
+            if match:
+                reason = match.group("reason")
+                reason = reason.strip() if reason else None
+                entries = self.disables.setdefault(line, [])
+                for rule_id in re.split(r"\s*,\s*", match.group("rules")):
+                    entries.append((rule_id, reason or None))
+            match = _HOLDS_RE.search(text)
+            if match:
+                self.holds_lock[line] = match.group("lock")
+            match = _GUARDED_RE.search(text)
+            if match:
+                self.guard_decls[line] = GuardDecl(
+                    lock=match.group("lock"),
+                    writes_only=match.group("mode") == "writes",
+                )
+
+    def disabled_rules(self, line: int) -> "set[str]":
+        """Rule IDs silenced (with a reason) on ``line``."""
+        return {
+            rule_id
+            for rule_id, reason in self.disables.get(line, ())
+            if reason is not None
+        }
+
+    def pragma_findings(self) -> "list[Finding]":
+        """RL001/RL002: disables missing reasons or naming unknown rules."""
+        findings = []
+        for line, entries in sorted(self.disables.items()):
+            for rule_id, reason in entries:
+                if reason is None:
+                    findings.append(
+                        Finding(
+                            "RL001",
+                            self.relpath,
+                            line,
+                            0,
+                            f"disable pragma for {rule_id} has no reason; "
+                            f"write `# lint: disable={rule_id} (why this "
+                            "is a false positive)`",
+                        )
+                    )
+                if not is_known(rule_id):
+                    findings.append(
+                        Finding(
+                            "RL002",
+                            self.relpath,
+                            line,
+                            0,
+                            f"disable pragma names unknown rule {rule_id}",
+                        )
+                    )
+        return findings
+
+
+def load_module(path: Path, repo_root: Path) -> ModuleInfo:
+    """Parse ``path`` into a :class:`ModuleInfo` (relpath is repo-relative
+    POSIX when under the root, else the path as given)."""
+    try:
+        relpath = path.resolve().relative_to(repo_root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return ModuleInfo(path, relpath, path.read_text(encoding="utf-8"))
+
+
+def self_attr(node: ast.expr) -> "str | None":
+    """The ``X`` of a ``self.X`` attribute expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def self_attr_root(node: ast.expr) -> "str | None":
+    """The first attribute of a ``self.X...`` chain (``self.X``,
+    ``self.X.y``, ``self.X.y(...)``, ``self.X(...)``), else ``None``."""
+    while True:
+        if isinstance(node, ast.Call):
+            node = node.func
+            continue
+        attr = self_attr(node)
+        if attr is not None:
+            return attr
+        if isinstance(node, ast.Attribute):
+            node = node.value
+            continue
+        return None

@@ -1,0 +1,235 @@
+"""RL201/RL202/RL203 — determinism of the reproduction's cost paths.
+
+The paper's fig7/8 numbers are *simulated* and must be bit-identical
+run-to-run (the repo's bench baselines and bit-identity tests depend on
+it).  Three failure modes are outlawed statically:
+
+* **RL201** wall-clock reads (``time.time``/``perf_counter``/…,
+  ``datetime.now``) anywhere under ``src/repro`` except the explicit
+  :data:`tools.analyze.config.WALLCLOCK_ALLOWLIST` (the serving layer's
+  real-latency measurement) and inline-disabled sites;
+* **RL202** unseeded randomness: module-level ``random.*`` (a process
+  -global RNG shared across threads), zero-argument ``random.Random()``,
+  ``os.urandom``, ``uuid.uuid1``/``uuid4``, and anything from ``secrets``.
+  Seeded ``random.Random(seed)`` instances are fine — that is how the
+  TPC-H generator stays reproducible;
+* **RL203** direct iteration over set expressions in the simulated-cost
+  directories — set order varies with hashing and insertion history, so
+  any set that feeds ordered work must go through ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.base import Finding, ModuleInfo
+from tools.analyze.config import WALLCLOCK_ALLOWLIST, in_scope
+
+_WALLCLOCK_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+        "localtime",
+        "gmtime",
+        "ctime",
+        "asctime",
+    }
+)
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_RANDOM_MODULE = "random"
+_UUID_FNS = frozenset({"uuid1", "uuid4"})
+
+
+class _Imports(ast.NodeVisitor):
+    """Resolves local names back to the modules/functions they came from."""
+
+    def __init__(self) -> None:
+        #: local alias -> module name ("time", "random", "os", ...)
+        self.modules: "dict[str, str]" = {}
+        #: local name -> (module, original function name)
+        self.functions: "dict[str, tuple[str, str]]" = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.modules[alias.asname or alias.name] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            self.functions[alias.asname or alias.name] = (
+                node.module,
+                alias.name,
+            )
+
+
+def _call_origin(node: ast.Call, imports: _Imports) -> "tuple[str, str] | None":
+    """``(module, function)`` of a call through an import, else ``None``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module = imports.modules.get(func.value.id)
+        if module is not None:
+            return (module, func.attr)
+        return None
+    if isinstance(func, ast.Name):
+        return imports.functions.get(func.id)
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` is syntactically a set (literal, comprehension, or
+    ``set(...)``/``frozenset(...)`` constructor call)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def check(info: ModuleInfo) -> "list[Finding]":
+    """Determinism findings for one module."""
+    findings: "list[Finding]" = []
+    src_scope = in_scope(info, "src")
+    simulated_scope = in_scope(info, "simulated")
+    if not src_scope and not simulated_scope:
+        return findings
+    imports = _Imports()
+    imports.visit(info.tree)
+    allowlisted = WALLCLOCK_ALLOWLIST.get(info.relpath, frozenset())
+
+    for node in ast.walk(info.tree):
+        if src_scope and isinstance(node, ast.Call):
+            origin = _call_origin(node, imports)
+            if origin is not None:
+                module, name = origin
+                if module == "time" and name in _WALLCLOCK_FNS:
+                    if name not in allowlisted:
+                        findings.append(
+                            Finding(
+                                "RL201",
+                                info.relpath,
+                                node.lineno,
+                                node.col_offset,
+                                f"wall-clock call time.{name}() in a "
+                                "simulated-cost layer; charge "
+                                "metrics.advance_time instead (or add the "
+                                "site to the wall-clock allowlist)",
+                            )
+                        )
+                elif module == _RANDOM_MODULE and name == "Random":
+                    if not node.args and not node.keywords:
+                        findings.append(
+                            Finding(
+                                "RL202",
+                                info.relpath,
+                                node.lineno,
+                                node.col_offset,
+                                "random.Random() without a seed is "
+                                "nondeterministic; pass an explicit seed",
+                            )
+                        )
+                elif module == _RANDOM_MODULE:
+                    findings.append(
+                        Finding(
+                            "RL202",
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"module-level random.{name}() uses the "
+                            "process-global RNG; use a seeded "
+                            "random.Random(seed) instance",
+                        )
+                    )
+                elif module == "os" and name == "urandom":
+                    findings.append(
+                        Finding(
+                            "RL202",
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            "os.urandom is nondeterministic by definition",
+                        )
+                    )
+                elif module == "uuid" and name in _UUID_FNS:
+                    findings.append(
+                        Finding(
+                            "RL202",
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"uuid.{name}() is nondeterministic; derive "
+                            "IDs from deterministic state",
+                        )
+                    )
+                elif module == "secrets":
+                    findings.append(
+                        Finding(
+                            "RL202",
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            "the secrets module is nondeterministic by "
+                            "design",
+                        )
+                    )
+            # datetime.datetime.now() / datetime.now() style wall clocks
+            func = node.func
+            if (
+                src_scope
+                and isinstance(func, ast.Attribute)
+                and func.attr in _DATETIME_FNS
+            ):
+                root = func.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and (
+                    imports.modules.get(root.id) == "datetime"
+                    or imports.functions.get(root.id, ("", ""))[0] == "datetime"
+                ):
+                    findings.append(
+                        Finding(
+                            "RL201",
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            f"wall-clock call datetime …{func.attr}() in a "
+                            "simulated-cost layer",
+                        )
+                    )
+        if simulated_scope:
+            iters: "list[ast.expr]" = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                wrapper = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if wrapper in ("list", "tuple", "iter", "enumerate", "join"):
+                    iters.extend(node.args)
+            for candidate in iters:
+                if _is_set_expr(candidate):
+                    findings.append(
+                        Finding(
+                            "RL203",
+                            info.relpath,
+                            candidate.lineno,
+                            candidate.col_offset,
+                            "iteration over a set has no deterministic "
+                            "order; wrap it in sorted(...)",
+                        )
+                    )
+    return findings

@@ -1,0 +1,175 @@
+"""RL401/RL402/RL403 — exception safety of paired resources.
+
+The PR-4 cascade-cleanup bug class: a resource acquired imperatively
+(lock, temp index family, adopted cache entry) leaked when an exception
+fired between acquisition and release.  Three rules close it:
+
+* **RL401** — a statement-level ``.acquire*()`` call must be the last
+  statement before a ``try:`` whose ``finally`` releases the same object
+  (``with`` is better still; the try/finally form exists for context
+  managers that must acquire in ``__enter__``-like positions).
+* **RL402** — ``.release*()`` may only appear inside a ``finally`` block;
+  anywhere else, the path from acquire to release is not exception-proof.
+* **RL403** — cleanup calls that discharge a temp-resource obligation
+  (``drop_family`` / ``drop_table`` / ``forget``) must run inside a
+  ``finally``, or inside a dedicated cleanup helper (a function whose
+  name says it is cleanup: ``_cleanup*``, ``forget``, ``drop*``,
+  ``close*``, ``teardown*``) that callers invoke from their ``finally``.
+
+Methods *named* ``acquire*``/``release*``/``__enter__``/``__exit__`` are
+exempt from RL401/RL402 — they are the wrapper implementations the rest
+of the code is being pushed toward.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.base import Finding, ModuleInfo
+from tools.analyze.config import CLEANUP_CALLS, CLEANUP_FUNCTION_PREFIXES, in_scope
+
+_WRAPPER_METHODS = ("acquire", "release", "__enter__", "__exit__")
+
+
+def _call_attr(statement: ast.stmt) -> "tuple[ast.Call, str] | None":
+    """``(call, attribute name)`` of a bare expression-statement method
+    call, else ``None``."""
+    if not isinstance(statement, ast.Expr):
+        return None
+    call = statement.value
+    if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+        return call, call.func.attr
+    return None
+
+
+def _receiver_key(call: ast.Call) -> str:
+    """A structural key of the call's receiver, for matching
+    ``x.y.acquire()`` with ``x.y.release()``."""
+    assert isinstance(call.func, ast.Attribute)
+    return ast.dump(call.func.value)
+
+
+def _finally_releases(finalbody: "list[ast.stmt]", receiver: str) -> bool:
+    """Whether the finally block (recursively) calls ``.release*()`` on
+    the same receiver."""
+    for statement in finalbody:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr.startswith("release")
+                and ast.dump(node.func.value) == receiver
+            ):
+                return True
+    return False
+
+
+class _FunctionChecker:
+    """Checks one function body, tracking finally-nesting."""
+
+    def __init__(self, info: ModuleInfo, function_name: str) -> None:
+        self.info = info
+        self.function_name = function_name
+        self.findings: "list[Finding]" = []
+        self._is_wrapper = function_name.startswith(_WRAPPER_METHODS)
+        self._is_cleanup = function_name.startswith(CLEANUP_FUNCTION_PREFIXES)
+
+    def check_block(self, body: "list[ast.stmt]", in_finally: bool) -> None:
+        for index, statement in enumerate(body):
+            matched = _call_attr(statement)
+            if matched is not None:
+                call, attr = matched
+                if attr.startswith("acquire") and not self._is_wrapper:
+                    follower = body[index + 1] if index + 1 < len(body) else None
+                    safe = (
+                        isinstance(follower, ast.Try)
+                        and _finally_releases(
+                            follower.finalbody, _receiver_key(call)
+                        )
+                    )
+                    if not safe:
+                        self.findings.append(
+                            Finding(
+                                "RL401",
+                                self.info.relpath,
+                                call.lineno,
+                                call.col_offset,
+                                f"bare .{attr}() without an immediate "
+                                "try/finally release; use `with`, or "
+                                "follow the acquire with try: ... "
+                                "finally: ...release...()",
+                            )
+                        )
+                elif (
+                    attr.startswith("release")
+                    and not self._is_wrapper
+                    and not in_finally
+                ):
+                    self.findings.append(
+                        Finding(
+                            "RL402",
+                            self.info.relpath,
+                            call.lineno,
+                            call.col_offset,
+                            f".{attr}() outside a finally block is not "
+                            "exception-safe",
+                        )
+                    )
+                elif (
+                    attr in CLEANUP_CALLS
+                    and not in_finally
+                    and not self._is_cleanup
+                ):
+                    self.findings.append(
+                        Finding(
+                            "RL403",
+                            self.info.relpath,
+                            call.lineno,
+                            call.col_offset,
+                            f".{attr}() discharges a temp-resource "
+                            "obligation; run it in a finally block or a "
+                            "dedicated cleanup helper so failures cannot "
+                            "leak the resource",
+                        )
+                    )
+            self._descend(statement, in_finally)
+
+    def _descend(self, statement: ast.stmt, in_finally: bool) -> None:
+        if isinstance(statement, ast.Try):
+            self.check_block(statement.body, in_finally)
+            for handler in statement.handlers:
+                self.check_block(handler.body, in_finally)
+            self.check_block(statement.orelse, in_finally)
+            self.check_block(statement.finalbody, True)
+            return
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested functions are reached by the module-level ast.walk in
+            # check() and analyzed under their own name there
+            return
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(statement, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                self.check_block(block, in_finally)
+
+
+def check(info: ModuleInfo) -> "list[Finding]":
+    """Exception-safety findings for one module.
+
+    RL401/RL402 apply everywhere under ``src/repro`` (a leaked lock is a
+    hang no matter the layer); RL403 applies to metered paths, where temp
+    families and adopted index state live.
+    """
+    findings: "list[Finding]" = []
+    src_scope = in_scope(info, "src")
+    metered_scope = in_scope(info, "metered")
+    if not src_scope and not metered_scope:
+        return findings
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            checker = _FunctionChecker(info, node.name)
+            checker.check_block(node.body, in_finally=False)
+            for finding in checker.findings:
+                if finding.rule_id == "RL403" and not metered_scope:
+                    continue
+                findings.append(finding)
+    return findings

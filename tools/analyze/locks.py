@@ -1,0 +1,196 @@
+"""RL101/RL102 — lock discipline over declared guarded attributes.
+
+A class declares its concurrency contract either with inline
+``# guarded-by: <lock>`` comments on the attribute's ``__init__``
+assignment, or through :data:`tools.analyze.config.GUARDED_REGISTRY`.
+Within that class, every ``self.<attr>`` access must then be lexically
+inside a ``with self.<lock>`` (or ``with self.<lock>.<anything>()``)
+block.  Helper methods that are only called with the lock held are marked
+``# lint: holds-lock(<lock>)`` on their ``def`` line.
+
+``writes`` mode (``# guarded-by: _lock (writes)``) relaxes reads: classes
+built on rebind-snapshot / copy-on-write structures serve lock-free reads
+by design, so only mutations (assignments, augmented assignments,
+subscript stores, and structural mutator calls like ``.append``) must
+hold the lock.
+
+``__init__`` and ``__new__`` are exempt — construction happens-before
+publication.  Nested functions and lambdas are analyzed with an empty
+held-lock set: they may run after the enclosing block released the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.base import Finding, GuardDecl, ModuleInfo, self_attr, self_attr_root
+from tools.analyze.config import GUARDED_REGISTRY, MUTATOR_METHODS
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+
+
+def _collect_decls(
+    info: ModuleInfo, node: ast.ClassDef, registry: "dict[str, dict[str, GuardDecl]]"
+) -> "dict[str, GuardDecl]":
+    """Guarded-attribute declarations of one class (comments + registry)."""
+    decls: "dict[str, GuardDecl]" = {}
+    registry_key = f"{info.relpath}:{node.name}"
+    decls.update(registry.get(registry_key, {}))
+    for statement in ast.walk(node):
+        if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+            continue
+        decl = info.guard_decls.get(statement.lineno)
+        if decl is None:
+            continue
+        targets = (
+            statement.targets
+            if isinstance(statement, ast.Assign)
+            else [statement.target]
+        )
+        for target in targets:
+            attr = self_attr(target)
+            if attr is not None:
+                decls[attr] = decl
+    return decls
+
+
+class _MethodChecker:
+    """Walks one method body tracking which declared locks are held."""
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        decls: "dict[str, GuardDecl]",
+        held: "frozenset[str]",
+    ) -> None:
+        self.info = info
+        self.decls = decls
+        self.held = set(held)
+        self.findings: "list[Finding]" = []
+
+    # -- violation reporting --------------------------------------------------
+
+    def _report(self, node: ast.expr, attr: str, write: bool) -> None:
+        decl = self.decls[attr]
+        if decl.lock in self.held:
+            return
+        if decl.writes_only and not write:
+            return
+        rule = "RL102" if write else "RL101"
+        action = "written" if write else "read"
+        self.findings.append(
+            Finding(
+                rule,
+                self.info.relpath,
+                node.lineno,
+                node.col_offset,
+                f"self.{attr} is guarded by self.{decl.lock} but {action} "
+                f"outside `with self.{decl.lock}`",
+            )
+        )
+
+    # -- expression traversal -------------------------------------------------
+
+    def _visit_expr(self, node: "ast.AST | None", write: bool = False) -> None:
+        if node is None:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # a nested callable may outlive the lock scope: analyze its
+            # body with nothing held
+            inner = _MethodChecker(self.info, self.decls, frozenset())
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for statement in body:
+                inner._visit_expr(statement)
+            self.findings.extend(inner.findings)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = self_attr(node)
+            if attr is not None and attr in self.decls:
+                self._report(node, attr, write or isinstance(node.ctx, ast.Del))
+            self._visit_expr(node.value)
+            return
+        if isinstance(node, ast.Subscript):
+            # self.X[k] = v / del self.X[k]: a write to the container X
+            self._visit_expr(node.value, write=write)
+            self._visit_expr(node.slice)
+            return
+        if isinstance(node, ast.Call):
+            # self.X.append(...) and friends mutate X structurally
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                attr = self_attr(func.value)
+                if attr is not None and attr in self.decls:
+                    self._report(func.value, attr, write=True)
+                    for arg in [*node.args, *node.keywords]:
+                        self._visit_expr(arg)
+                    return
+            for child in ast.iter_child_nodes(node):
+                self._visit_expr(child)
+            return
+        if isinstance(node, ast.With):
+            self._visit_with(node)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._visit_expr(target, write=True)
+            self._visit_expr(node.value)
+            if isinstance(node, ast.AugAssign):
+                # `self.X += 1` both reads and writes X; the write report
+                # covers it (RL102 subsumes the read)
+                pass
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._visit_expr(target, write=True)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit_expr(child)
+
+    def _visit_with(self, node: ast.With) -> None:
+        acquired: "list[str]" = []
+        for item in node.items:
+            root = self_attr_root(item.context_expr)
+            if root is not None and root in self._lock_names():
+                if root not in self.held:
+                    self.held.add(root)
+                    acquired.append(root)
+            self._visit_expr(item.context_expr)
+        for statement in node.body:
+            self._visit_expr(statement)
+        for root in acquired:
+            self.held.discard(root)
+
+    def _lock_names(self) -> "set[str]":
+        return {decl.lock for decl in self.decls.values()}
+
+
+def check(info: ModuleInfo, registry: "dict[str, dict[str, GuardDecl]] | None" = None) -> "list[Finding]":
+    """Lock-discipline findings for one module."""
+    merged_registry = GUARDED_REGISTRY if registry is None else registry
+    findings: "list[Finding]" = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        decls = _collect_decls(info, node, merged_registry)
+        if not decls:
+            continue
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _EXEMPT_METHODS:
+                continue
+            held: "set[str]" = set()
+            pragma_lock = info.holds_lock.get(method.lineno)
+            if pragma_lock is not None:
+                held.add(pragma_lock)
+            checker = _MethodChecker(info, decls, frozenset(held))
+            for statement in method.body:
+                checker._visit_expr(statement)
+            findings.extend(checker.findings)
+    return findings

@@ -1,0 +1,143 @@
+"""RL301/RL302 — cost-metering integrity.
+
+The fig7/8 bit-identity guarantee holds because every store access in an
+execution path goes through the metered ``HTable`` operations (Get / Scan
+/ Put / Delete charge RPCs, bytes, and KV read units) and every metric
+moves through a :class:`~repro.cluster.metrics.MetricsCollector` API.
+This checker turns that norm into findings:
+
+* **RL301** — calls to the unmetered ``StoreTable``/``Region`` accessors
+  (``all_rows``, ``read_row``, ``raw_cell_count``) or iteration over a
+  ``.regions`` attribute inside a metered path.  Unmetered access *is*
+  legitimate in specific places — statistics gathering, index-existence
+  probes, ground-truth computation — and each such site documents itself
+  with ``# lint: disable=RL301 (reason)``;
+* **RL302** — direct writes to collector fields (``sim_time_s``,
+  ``network_bytes``, ``kv_reads``, ``disk_bytes_read``) or to
+  ``…counters[...]`` on a metrics receiver, outside the collector module
+  itself.  Going through ``advance_time``/``bump``/``record_peak``/…
+  keeps invariants (non-negative time) and snapshot deltas exact.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analyze.base import Finding, ModuleInfo
+from tools.analyze.config import (
+    METRIC_API_MODULES,
+    METRIC_FIELDS,
+    METRIC_RECEIVER_NAMES,
+    UNMETERED_ACCESSORS,
+    in_scope,
+)
+
+
+def _is_metrics_receiver(node: ast.expr) -> bool:
+    """Whether an expression plausibly evaluates to a MetricsCollector
+    (a name like ``metrics``/``collector`` or a chain ending ``.metrics``)."""
+    if isinstance(node, ast.Name):
+        return node.id.lstrip("_") in METRIC_RECEIVER_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr.lstrip("_") in METRIC_RECEIVER_NAMES
+    return False
+
+
+def _metric_mutation(node: ast.expr) -> "ast.expr | None":
+    """If ``node`` (an assignment target) mutates a collector field,
+    return the offending expression, else ``None``."""
+    # metrics.sim_time_s = ... / metrics.kv_reads += ...
+    if isinstance(node, ast.Attribute) and node.attr in METRIC_FIELDS:
+        if _is_metrics_receiver(node.value):
+            return node
+    # metrics.counters[...] = ...
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "counters"
+            and _is_metrics_receiver(value.value)
+        ):
+            return node
+    return None
+
+
+def check(info: ModuleInfo) -> "list[Finding]":
+    """Metering-integrity findings for one module."""
+    findings: "list[Finding]" = []
+    if not in_scope(info, "metered"):
+        return findings
+    metric_api = info.relpath in METRIC_API_MODULES
+
+    for node in ast.walk(info.tree):
+        # RL301: unmetered accessor calls
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in UNMETERED_ACCESSORS:
+                findings.append(
+                    Finding(
+                        "RL301",
+                        info.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        f".{node.func.attr}() reads the store without "
+                        "charging the meter; use the HTable API, or "
+                        "document why this site is unmetered by design",
+                    )
+                )
+        # RL301: iterating the raw region list
+        iters: "list[ast.expr]" = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for candidate in iters:
+            if isinstance(candidate, ast.Attribute) and candidate.attr == "regions":
+                findings.append(
+                    Finding(
+                        "RL301",
+                        info.relpath,
+                        candidate.lineno,
+                        candidate.col_offset,
+                        "iterating .regions bypasses metered routing; "
+                        "use Scan/regions_in_range, or document why this "
+                        "site is unmetered by design",
+                    )
+                )
+        # RL302: direct collector-field mutation
+        if not metric_api and isinstance(
+            node, (ast.Assign, ast.AugAssign, ast.AnnAssign)
+        ):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                offending = _metric_mutation(target)
+                if offending is not None:
+                    findings.append(
+                        Finding(
+                            "RL302",
+                            info.relpath,
+                            offending.lineno,
+                            offending.col_offset,
+                            "metric fields move only through collector "
+                            "APIs (advance_time / add_network / "
+                            "add_kv_reads / bump / record_peak / "
+                            "set_counter); direct mutation breaks "
+                            "snapshot-delta exactness",
+                        )
+                    )
+        if not metric_api and isinstance(node, ast.Delete):
+            for target in node.targets:
+                offending = _metric_mutation(target)
+                if offending is not None:
+                    findings.append(
+                        Finding(
+                            "RL302",
+                            info.relpath,
+                            offending.lineno,
+                            offending.col_offset,
+                            "deleting a collector counter outside the "
+                            "collector API",
+                        )
+                    )
+    return findings
