@@ -1,15 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest lint lint-changed docs-check examples all
+.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest bench-scatter bench-all lint lint-changed docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
 	$(PYTHON) -m pytest -x -q
 
-## heavy concurrency smoke tests (@pytest.mark.stress, excluded from tier-1)
+## heavy concurrency smoke tests (@pytest.mark.stress, excluded from
+## tier-1): the serving-layer stress suite plus the scan-vs-split races
 stress:
-	$(PYTHON) -m pytest -m stress -q tests/serving/test_stress.py
+	$(PYTHON) -m pytest -m stress -q tests
 
 ## crash/fault-injection sweeps for async maintenance (@pytest.mark.chaos,
 ## excluded from tier-1): crash the worker at every drain point and prove
@@ -58,6 +59,17 @@ bench-serving:
 bench-ingest:
 	BENCH_INGEST_OUT=BENCH_ingest.candidate.json $(PYTHON) -m pytest benchmarks/test_ingest.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_ingest.json BENCH_ingest.candidate.json
+
+## multi-server scatter/gather fan-out: simulated-clock speedup of 4
+## region servers over 1 on scan / multi-get / ISL / BFHM workloads,
+## diffed against the committed BENCH_scatter.json baseline (warn-only)
+bench-scatter:
+	BENCH_SCATTER_OUT=BENCH_scatter.candidate.json $(PYTHON) -m pytest benchmarks/test_scatter.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_scatter.json BENCH_scatter.candidate.json
+
+## one greppable trajectory table over every committed BENCH_*.json
+bench-all:
+	$(PYTHON) tools/bench_summary.py
 
 ## repro-lint (lock discipline / determinism / metering / exception
 ## safety), the gated typed-core mypy check, and the docs checks

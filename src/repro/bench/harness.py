@@ -56,10 +56,15 @@ def build_setup(
     seed: int = 1,
     prebuild: "list[str] | None" = None,
     prebuild_query: "RankJoinQuery | None" = None,
+    num_servers: int = 1,
     **algorithm_kwargs,
 ) -> ExperimentSetup:
-    """Create a platform, load TPC-H data, optionally pre-build indices."""
-    platform = Platform(cost_model)
+    """Create a platform, load TPC-H data, optionally pre-build indices.
+
+    ``num_servers`` > 1 stands the platform up on a multi-region-server
+    topology (scatter/gather fan-out; see :mod:`repro.cluster.topology`).
+    """
+    platform = Platform(cost_model, num_servers=num_servers)
     data = generate(micro_scale=micro_scale, seed=seed)
     load_tpch(platform.store, data)
     engine = RankJoinEngine(platform, **algorithm_kwargs)

@@ -60,6 +60,12 @@ class CostModel:
     #: have proportionally more entries per bucket, hence a larger factor
     #: (LC stands in for scale 500, EC2 for scale 10).
     blob_decode_cpu_factor: float = 1.0
+    #: client-side overhead of dispatching a scatter round to one *extra*
+    #: region server (marshalling + an extra in-flight connection): a
+    #: round touching S servers pays ``fanout_dispatch_s x (S - 1)`` on
+    #: top of its slowest server queue.  Not dilated by ``data_scale`` —
+    #: like ``rpc_latency_s`` it is a per-operation constant.
+    fanout_dispatch_s: float = 0.0005
 
     def network_time(self, num_bytes: int) -> float:
         """Transfer time for ``num_bytes`` across the network."""
@@ -72,6 +78,22 @@ class CostModel:
     def cpu_time(self, num_tuples: int) -> float:
         """Processing time for ``num_tuples`` tuples on one core."""
         return num_tuples * self.cpu_tuple_s * self.data_scale
+
+    def scatter_round_time(self, per_server_seconds: "list[float]") -> float:
+        """Simulated time of one parallel scatter round.
+
+        ``per_server_seconds`` holds each touched server's queue — the
+        summed simulated time of the tasks it served.  The round costs
+        the slowest queue (servers work concurrently) plus the dispatch
+        overhead of every server beyond the first.  With one server this
+        degenerates to the serial sum, so a "scatter" that lands on a
+        single server prices identically to the seed serial path.
+        """
+        if not per_server_seconds:
+            return 0.0
+        return max(per_server_seconds) + self.fanout_dispatch_s * (
+            len(per_server_seconds) - 1
+        )
 
     def dollars(self, kv_reads: int) -> float:
         """Dollar cost of ``kv_reads`` key-value reads.
@@ -100,6 +122,7 @@ EC2_PROFILE = CostModel(
     hdfs_replication=3,
     data_scale=2000.0,
     blob_decode_cpu_factor=0.15,
+    fanout_dispatch_s=0.0008,
 )
 
 #: in-house lab cluster, 5 nodes x 32 cores x 64 GB RAM x 10 disks; the
@@ -118,6 +141,7 @@ LC_PROFILE = CostModel(
     hdfs_replication=3,
     data_scale=5000.0,
     blob_decode_cpu_factor=1.0,
+    fanout_dispatch_s=0.00006,
 )
 
 

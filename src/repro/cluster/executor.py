@@ -1,0 +1,177 @@
+"""Scatter/gather execution over a shared region-server thread pool.
+
+This is the execution half of the multi-server topology: callers split a
+batched store operation into one :class:`ScatterTask` per region server
+and hand the batch to :func:`scatter_gather`, which
+
+1. runs every task **concurrently on real threads** (one process-wide
+   :class:`ScatterPool`, shared by all platforms, created lazily);
+2. captures each task's simulated charges on a private per-task
+   :class:`~repro.cluster.metrics.MetricsCollector` via the serving
+   layer's :class:`~repro.serving.metrics.ThreadLocalMetricsRouter`;
+3. gathers results **in task order** (never completion order) and folds
+   the captured charges back into the caller's collector: byte / KV-read
+   counters are absorbed unchanged (the work happened, wherever it ran),
+   while simulated time is re-priced as one *parallel round* —
+
+       round = max over servers of (sum of that server's task times)
+               + fanout_dispatch_s x (servers - 1)
+
+   the per-server queueing model (:meth:`CostModel.scatter_round_time`).
+   Tasks on the same server queue behind each other; distinct servers
+   overlap; each extra server costs a fixed dispatch overhead.
+
+Determinism: charges are captured per task and combined in task order, so
+the resulting simulated metrics are a pure function of the store state and
+the task list — independent of thread scheduling, pool size, and
+completion order.  ``tests/cluster/test_executor.py`` pins this.
+
+Fallbacks run the tasks inline, serially, on the caller's thread (charges
+flow through untouched, exactly the seed behaviour): single-server
+topologies, batches whose tasks all land on one server, and *nested*
+scatters — a task that itself calls :func:`scatter_gather` (detected with
+a thread-local flag) must not block waiting on the same bounded pool that
+is running it, the classic shared-pool deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cluster.metrics import MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.simulation import SimContext
+
+#: capacity of the process-wide pool.  Sized for fan-out breadth (the
+#: paper's clusters run 2-8 region servers), not CPU parallelism — tasks
+#: are short and the simulated clock, not wall-clock, carries the model.
+SCATTER_POOL_WORKERS = 8
+
+
+class ScatterPool:
+    """Process-wide lazily-created thread pool for scatter rounds.
+
+    One pool serves every platform in the process: scatter rounds are
+    synchronous (submit then gather), so rounds from different serving
+    threads interleave safely, and a bounded worker count keeps thread
+    explosion impossible.  Nested rounds never reach the pool (see
+    :func:`scatter_gather`), so a full pool cannot deadlock on itself.
+    """
+
+    def __init__(self, max_workers: int = SCATTER_POOL_WORKERS) -> None:
+        self.max_workers = max_workers
+        self._lock = threading.Lock()
+        self._executor: "ThreadPoolExecutor | None" = None
+
+    def executor(self) -> ThreadPoolExecutor:
+        """The pool, created on first use."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="scatter",
+                )
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the pool down (tests); the next round recreates it."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+_SHARED_POOL = ScatterPool()
+
+
+def shared_pool() -> ScatterPool:
+    """The process-wide pool shared by every scatter/gather caller."""
+    return _SHARED_POOL
+
+
+@dataclass(frozen=True)
+class ScatterTask:
+    """One server's share of a scatter round.
+
+    ``run`` executes that server's slice of the batched operation and
+    charges its work through the ambient context metrics; it must only
+    touch thread-safe state (lock-free store reads, routed metrics).
+    """
+
+    server_id: int
+    run: Callable[[], Any]
+
+
+_scatter_state = threading.local()
+
+
+def in_scatter() -> bool:
+    """Whether the calling thread is executing inside a scatter task."""
+    return getattr(_scatter_state, "active", False)
+
+
+def scatter_gather(
+    ctx: "SimContext",
+    tasks: "list[ScatterTask]",
+    label: "str | None" = None,
+) -> "list[Any]":
+    """Run ``tasks`` as one parallel round; return results in task order.
+
+    Charges the caller one per-server-queue round (module docstring) and
+    bumps ``fanout_rounds`` / ``fanout_tasks`` / ``fanout_overlap_saved_s``
+    (plus ``fanout_rounds_<label>``) on the caller's collector.  Falls
+    back to inline serial execution — charges untouched — when the
+    topology is single-server, all tasks share a server, or the caller is
+    itself a scatter task.
+    """
+    if not tasks:
+        return []
+    server_ids = {task.server_id for task in tasks}
+    if not ctx.topology.parallel or len(server_ids) <= 1 or in_scatter():
+        return [task.run() for task in tasks]
+
+    # imported here: serving builds on cluster, not the other way around
+    from repro.serving.metrics import install_router
+
+    router = install_router(ctx)
+    rate = router.base.dollars_per_kv_read
+    collectors = [MetricsCollector(dollars_per_kv_read=rate) for _ in tasks]
+
+    def _execute(task: ScatterTask, collector: MetricsCollector) -> Any:
+        _scatter_state.active = True
+        try:
+            with router.scoped(collector):
+                return task.run()
+        finally:
+            _scatter_state.active = False
+
+    executor = shared_pool().executor()
+    futures = [
+        executor.submit(_execute, task, collector)
+        for task, collector in zip(tasks, collectors)
+    ]
+    results = [future.result() for future in futures]
+
+    # fold captured charges back in *task order* — combination must not
+    # depend on which thread finished first
+    per_server: "dict[int, float]" = {}
+    for task, collector in zip(tasks, collectors):
+        captured = collector.snapshot()
+        router.active.absorb_counts(captured)
+        per_server[task.server_id] = (
+            per_server.get(task.server_id, 0.0) + captured.sim_time_s
+        )
+    queue_times = list(per_server.values())
+    metrics = ctx.metrics
+    metrics.advance_time(ctx.cost_model.scatter_round_time(queue_times))
+    metrics.bump("fanout_rounds")
+    metrics.bump("fanout_tasks", len(tasks))
+    metrics.bump("fanout_overlap_saved_s", sum(queue_times) - max(queue_times))
+    if label is not None:
+        metrics.bump(f"fanout_rounds_{label}")
+    return results

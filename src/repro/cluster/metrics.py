@@ -85,6 +85,22 @@ class MetricsCollector:
         """Overwrite a named counter (e.g. rebasing a per-phase peak)."""
         self.counters[name] = value
 
+    def absorb_counts(self, captured: MetricsSnapshot) -> None:
+        """Fold another collector's totals into this one **without its
+        simulated time**.
+
+        The scatter/gather executor captures each parallel task's charges
+        on a private collector, then absorbs the byte / KV-read / named
+        counters here (that work happened regardless of where it ran) and
+        charges the round's *time* separately as the max over per-server
+        queues — the whole point of fan-out is that task times overlap.
+        """
+        self.network_bytes += captured.network_bytes
+        self.kv_reads += captured.kv_reads
+        self.disk_bytes_read += captured.disk_bytes_read
+        for name, value in captured.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
     def snapshot(self) -> MetricsSnapshot:
         """Immutable copy of the current totals."""
         return MetricsSnapshot(

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.costmodel import CostModel, EC2_PROFILE
 from repro.cluster.metrics import MetricsCollector
+from repro.cluster.topology import ClusterTopology, RegionBalancer
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,18 +69,28 @@ class SimContext:
     cost_model: CostModel = EC2_PROFILE
     cluster: SimCluster = None  # type: ignore[assignment]
     metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    #: region servers the workers are grouped into; 1 (the default) keeps
+    #: every fan-out entry point on the seed serial path bit-for-bit
+    num_servers: int = 1
+    #: worker->server assignment strategy (default: round-robin striping)
+    balancer: "RegionBalancer | None" = None
     _timestamp: int = 0
 
     def __post_init__(self) -> None:
         if self.cluster is None:
             self.cluster = SimCluster(self.cost_model)
+        self.topology = ClusterTopology(
+            self.cluster, num_servers=self.num_servers, balancer=self.balancer
+        )
         # mutation timestamps must stay strictly monotonic even when many
         # serving threads write through one context
         self._timestamp_lock = threading.Lock()
 
     @classmethod
-    def with_profile(cls, cost_model: CostModel) -> "SimContext":
-        return cls(cost_model=cost_model)
+    def with_profile(
+        cls, cost_model: CostModel, num_servers: int = 1
+    ) -> "SimContext":
+        return cls(cost_model=cost_model, num_servers=num_servers)
 
     def next_timestamp(self) -> int:
         """Monotonic mutation timestamp (HBase-style version ordering)."""

@@ -110,10 +110,22 @@ class BFHMEstimator:
         if bucket_number is None:
             return None
         self._next_index[side] += 1
+        row = self._get_blob_row(side, bucket_number)
+        return self._ingest_bucket(side, bucket_number, row)
+
+    def _get_blob_row(self, side: int, bucket_number: int):
+        """The metered point get of one bucket's blob row (the part of a
+        fetch that runs inside a scatter task on multi-server topologies)."""
         signature = self.signatures[side]
         htable = self.platform.store.table(BFHM_TABLE)
-        row = htable.get(Get(blob_row_key(bucket_number), families={signature}))
+        return htable.get(Get(blob_row_key(bucket_number), families={signature}))
 
+    def _ingest_bucket(
+        self, side: int, bucket_number: int, row
+    ) -> _FetchedBucket:
+        """Decode a fetched blob row (charging coordinator CPU) and fold
+        it into the estimator state — always on the coordinator thread."""
+        signature = self.signatures[side]
         if self.update_manager is not None:
             data = self.update_manager.decode_with_replay(
                 signature, bucket_number, row
@@ -169,6 +181,46 @@ class BFHMEstimator:
         if fetched is None:
             return False
         self._join_new_bucket(side, fetched)
+        return True
+
+    def advance_round(self, sides: "list[int]") -> bool:
+        """Fetch the next bucket of every side in ``sides`` as one
+        scatter/gather round, then join them in side order.
+
+        Both sides' bucket rows share the row key ``blob_row_key(n)``
+        (one family per relation), so fetches at the same depth usually
+        co-locate on one server and degrade gracefully to a serial round;
+        the overlap shows up when the sides' bucket lists diverge.  Blob
+        decoding (coordinator CPU) stays on the calling thread either
+        way.  Returns False when no side had a bucket left.
+        """
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        ctx = self.platform.ctx
+        topology = ctx.topology
+        table = self.platform.store.backing(BFHM_TABLE)
+        plan: "list[tuple[int, int]]" = []
+        for side in sides:
+            bucket_number = self.next_bucket_number(side)
+            if bucket_number is None:
+                continue
+            self._next_index[side] += 1
+            plan.append((side, bucket_number))
+        if not plan:
+            return False
+        tasks = []
+        for side, bucket_number in plan:
+            region = table.region_for(blob_row_key(bucket_number))
+            tasks.append(
+                ScatterTask(
+                    topology.server_for(region),
+                    lambda s=side, b=bucket_number: self._get_blob_row(s, b),
+                )
+            )
+        rows = scatter_gather(ctx, tasks, label="bfhm_bucket")
+        for (side, bucket_number), row in zip(plan, rows):
+            fetched = self._ingest_bucket(side, bucket_number, row)
+            self._join_new_bucket(side, fetched)
         return True
 
     # -- termination (Algorithm 6) -------------------------------------------------
@@ -231,9 +283,27 @@ class BFHMEstimator:
             self.advance(side)
             side = 1 - side
 
+    def run_until_scatter(self, k: int) -> None:
+        """:meth:`run_until` for multi-server topologies: each round
+        fetches one bucket of *every* non-exhausted side concurrently
+        instead of strictly alternating.  May fetch up to one bucket more
+        than serial alternation before the termination test fires — the
+        fan-out bandwidth-for-latency trade."""
+        while not self.should_terminate(k):
+            sides = [side for side in (0, 1) if not self.side_exhausted(side)]
+            if not sides:
+                break
+            if not self.advance_round(sides):
+                break
+
     def force_fetch(self, side: int) -> bool:
         """Recall-repair hook: unconditionally pull one more bucket."""
         return self.advance(side)
+
+    def force_fetch_round(self, sides: "list[int]") -> bool:
+        """Recall-repair hook, scatter form: pull one more bucket from
+        every side in ``sides`` as one parallel round."""
+        return self.advance_round(sides)
 
 
 def decode_plain_bucket_row(signature: str, bucket: int, row) -> BFHMBucketData:

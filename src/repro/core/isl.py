@@ -50,12 +50,16 @@ class _SideCursor:
     def __init__(self, platform: Platform, signature: str, batch_rows: int) -> None:
         htable = platform.store.table(ISL_TABLE)
         self.batch_rows = batch_rows
+        self._table = htable.table
         self._rows: Iterator[RowResult] = htable.scan(
             Scan(families={signature}, caching=batch_rows)
         )
         self._signature = signature
         self._pending: list[ScoredRow] = []
         self.exhausted = False
+        #: last index row pulled — the scan's position, used to route the
+        #: next batch fetch to the region server currently serving it
+        self._last_row_key: "str | None" = None
 
     def next_batch(self) -> list[ScoredRow]:
         """Tuples of the next ``batch_rows`` index rows (possibly more
@@ -69,6 +73,7 @@ class _SideCursor:
                 self.exhausted = True
                 break
             rows_taken += 1
+            self._last_row_key = row.row
             for cell in row.family_cells(self._signature):
                 batch.append(
                     ScoredRow(
@@ -78,6 +83,18 @@ class _SideCursor:
                     )
                 )
         return batch
+
+    def server_hint(self, topology) -> int:
+        """Region server the cursor's next batch is expected to hit (the
+        region holding its current scan position — a batch that crosses a
+        region boundary is still charged wherever its rows actually live;
+        the hint only drives scatter grouping)."""
+        if self._last_row_key is None:
+            regions = self._table.regions_in_range(None, None)
+            region = regions[0]
+        else:
+            region = self._table.region_for(self._last_row_key)
+        return topology.server_for(region)
 
 
 def _score_of_key(key: str) -> float:
@@ -162,6 +179,8 @@ class ISLRankJoin(RankJoinAlgorithm):
         return max(MIN_BATCH_ROWS, int(relation_rows * self.batch_fraction))
 
     def _run(self, query: RankJoinQuery, details: _ExecutionDetails) -> list[JoinTuple]:
+        if self.platform.ctx.topology.parallel:
+            return self._run_scatter(query, details)
         operator = HRJNOperator(query.function, query.k)
         cursors = {
             LEFT: _SideCursor(
@@ -206,6 +225,77 @@ class ISLRankJoin(RankJoinAlgorithm):
 
         seen = operator.tuples_seen()
         details.set("batches", batches)
+        details.set("tuples_seen_left", seen[LEFT])
+        details.set("tuples_seen_right", seen[RIGHT])
+        return operator.results
+
+    def _run_scatter(
+        self, query: RankJoinQuery, details: _ExecutionDetails
+    ) -> list[JoinTuple]:
+        """Algorithm 4 on a multi-server topology: instead of strictly
+        alternating sides, each round fetches the next batch of *every*
+        non-exhausted side as one scatter/gather round — when the two
+        cursors sit on regions of different servers, the fetches overlap
+        and the round costs the slower of the two, not the sum.  Tuples
+        still feed the HRJN operator in side order (LEFT then RIGHT), so
+        results are identical; the round may overfetch one batch of the
+        other side compared to serial alternation (the classic fan-out
+        bandwidth-for-latency trade, same as §4.2.3's batching knob).
+        """
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        ctx = self.platform.ctx
+        topology = ctx.topology
+        operator = HRJNOperator(query.function, query.k)
+        cursors = {
+            LEFT: _SideCursor(
+                self.platform, query.left.signature,
+                self._batch_rows_for(query.left.signature),
+            ),
+            RIGHT: _SideCursor(
+                self.platform, query.right.signature,
+                self._batch_rows_for(query.right.signature),
+            ),
+        }
+
+        batches = 0
+        rounds = 0
+        done = False
+        while not done:
+            exhausted = (cursors[LEFT].exhausted, cursors[RIGHT].exhausted)
+            if operator.terminated(exhausted) or all(exhausted):
+                break
+            active = [side for side in (LEFT, RIGHT) if not cursors[side].exhausted]
+            tasks = [
+                ScatterTask(
+                    cursors[side].server_hint(topology),
+                    cursors[side].next_batch,
+                )
+                for side in active
+            ]
+            fetched = scatter_gather(ctx, tasks, label="isl")
+            rounds += 1
+            batches += len(active)
+            # feed the operator in fixed side order; a side only counts as
+            # exhausted once every row of its final batch is consumed
+            remaining = {side: len(batch) for side, batch in zip(active, fetched)}
+            for side, batch in zip(active, fetched):
+                for row in batch:
+                    operator.add(side, row)
+                    remaining[side] -= 1
+                    exhausted = (
+                        cursors[LEFT].exhausted and remaining.get(LEFT, 0) == 0,
+                        cursors[RIGHT].exhausted and remaining.get(RIGHT, 0) == 0,
+                    )
+                    if operator.terminated(exhausted):
+                        done = True
+                        break
+                if done:
+                    break
+
+        seen = operator.tuples_seen()
+        details.set("batches", batches)
+        details.set("scatter_rounds", rounds)
         details.set("tuples_seen_left", seen[LEFT])
         details.set("tuples_seen_right", seen[RIGHT])
         return operator.results

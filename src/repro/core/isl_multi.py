@@ -63,6 +63,17 @@ class MultiWayISLRankJoin:
             for binding in query.inputs
         ]
 
+        if self.platform.ctx.topology.parallel:
+            batches = self._drain_scatter(operator, cursors, arity)
+        else:
+            batches = self._drain_serial(operator, cursors, arity)
+
+        after = self.platform.metrics.snapshot()
+        seen = operator.tuples_seen()
+        return self._result(query, operator, batches, after - before, seen)
+
+    def _drain_serial(self, operator, cursors, arity: int) -> int:
+        """Seed behaviour: strict round-robin over the n index families."""
         index = 0
         batches = 0
         while True:
@@ -89,14 +100,55 @@ class MultiWayISLRankJoin:
             if done:
                 break
             index = (index + 1) % arity
+        return batches
 
-        after = self.platform.metrics.snapshot()
-        seen = operator.tuples_seen()
+    def _drain_scatter(self, operator, cursors, arity: int) -> int:
+        """Multi-server: every round fetches the next batch of *all*
+        non-exhausted sides as one scatter/gather — n cursors usually sit
+        on regions of several servers, so the round costs the slowest
+        server's queue instead of n serial fetches (same trade as the
+        2-way :meth:`ISLRankJoin._run_scatter`)."""
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        ctx = self.platform.ctx
+        topology = ctx.topology
+        batches = 0
+        done = False
+        while not done:
+            exhausted = tuple(cursor.exhausted for cursor in cursors)
+            if operator.terminated(exhausted) or all(exhausted):
+                break
+            active = [i for i in range(arity) if not cursors[i].exhausted]
+            tasks = [
+                ScatterTask(
+                    cursors[i].server_hint(topology), cursors[i].next_batch
+                )
+                for i in active
+            ]
+            fetched = scatter_gather(ctx, tasks, label="isl")
+            batches += len(active)
+            remaining = {i: len(batch) for i, batch in zip(active, fetched)}
+            for i, batch in zip(active, fetched):
+                for row in batch:
+                    operator.add(i, row)
+                    remaining[i] -= 1
+                    exhausted = tuple(
+                        cursor.exhausted and remaining.get(side, 0) == 0
+                        for side, cursor in enumerate(cursors)
+                    )
+                    if operator.terminated(exhausted):
+                        done = True
+                        break
+                if done:
+                    break
+        return batches
+
+    def _result(self, query, operator, batches, metrics, seen):
         return MultiRankJoinResult(
             algorithm=self.name,
             k=query.k,
             tuples=operator.results,
-            metrics=after - before,
+            metrics=metrics,
             details={
                 "batches": batches,
                 **{f"tuples_seen_{i}": count for i, count in enumerate(seen)},

@@ -118,6 +118,44 @@ class JobRunner:
 
     # -- phase helpers -----------------------------------------------------------
 
+    def _run_map_wave(
+        self, live_splits: "list[_Split]", run_map_task
+    ) -> "list[tuple[TaskContext, list[tuple[Any, Any]]]]":
+        """Execute the map tasks, returning outcomes in split order.
+
+        On a multi-server topology the user map/combine code of different
+        splits runs concurrently on the shared scatter thread pool —
+        results and *all* cost accounting stay in split order, so the
+        simulated metrics are identical to serial execution (the wave's
+        simulated makespan was always the parallel :meth:`_wave_time`
+        model).  Map/combine functions must therefore be thread-safe; all
+        in-repo jobs are pure functions of their input records.  Any
+        simulated charges a task does make are captured per task and
+        folded back in split order, keeping them deterministic.
+        """
+        if len(live_splits) > 1 and self.ctx.topology.parallel:
+            from repro.cluster.executor import in_scatter, shared_pool
+
+            if not in_scatter():
+                from repro.serving.metrics import install_router
+
+                router = install_router(self.ctx)
+
+                def isolated(split: _Split):
+                    with router.scoped() as collector:
+                        outcome = run_map_task(split)
+                    return outcome, collector.snapshot()
+
+                pool = shared_pool().executor()
+                captured = list(pool.map(isolated, live_splits))
+                outcomes = []
+                for outcome, snap in captured:
+                    router.active.absorb_counts(snap)
+                    self.ctx.metrics.advance_time(snap.sim_time_s)
+                    outcomes.append(outcome)
+                return outcomes
+        return [run_map_task(split) for split in live_splits]
+
     def _wave_time(self, task_times: "dict[int, list[float]]") -> float:
         """Makespan of locality-pinned tasks over per-node slots."""
         model = self.ctx.cost_model
@@ -158,11 +196,7 @@ class JobRunner:
             )
 
         # ---- map phase ----
-        map_outputs: list[tuple["Node", list[tuple[Any, Any]]]] = []
-        task_times: dict[int, list[float]] = {}
-        for split in splits:
-            if not split.records:
-                continue
+        def run_map_task(split: _Split) -> "tuple[TaskContext, list[tuple[Any, Any]]]":
             task = TaskContext()
             for key, value in split.records:
                 job.map_fn(key, value, task)
@@ -177,7 +211,14 @@ class JobRunner:
                 for name, amount in combine.counters.items():
                     task.counters[name] = task.counters.get(name, 0.0) + amount
                 emitted = combine.emitted
+            return task, emitted
 
+        live_splits = [split for split in splits if split.records]
+        outcomes = self._run_map_wave(live_splits, run_map_task)
+
+        map_outputs: list[tuple["Node", list[tuple[Any, Any]]]] = []
+        task_times: dict[int, list[float]] = {}
+        for split, (task, emitted) in zip(live_splits, outcomes):
             metrics.add_kv_reads(split.kv_cells)
             metrics.add_disk_read(split.input_bytes)
             task_time = (

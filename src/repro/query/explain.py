@@ -50,6 +50,11 @@ def render_plan(plan: "QueryPlan") -> str:
     query = plan.query
     lines.append(f"QUERY PLAN  {query.description}")
     lines.append(f"objective: minimize {plan.objective}")
+    if getattr(plan, "servers", 1) > 1:
+        lines.append(
+            f"topology: {plan.servers} region servers "
+            "(scatter/gather fan-out; overlap priced per server queue)"
+        )
     lines.append("")
 
     header = (

@@ -143,6 +143,26 @@ class CostLedger:
     def cpu(self, component: str, tuples: float, factor: float = 1.0) -> None:
         self.add_time(component, self.model.cpu_time(int(tuples)) * factor)
 
+    def merge(
+        self,
+        other: "CostLedger",
+        time_scale: float = 1.0,
+        component: "str | None" = None,
+    ) -> None:
+        """Fold another ledger into this one.
+
+        ``time_scale`` scales only the *time* — counters (bytes, KV reads)
+        are always absorbed in full, matching the scatter/gather round
+        model of :mod:`repro.cluster.executor` where fan-out hides latency
+        behind the slowest server's queue but never removes work.
+        ``component`` relabels the folded time under one component name
+        (e.g. ``"fanout overlap"``) instead of keeping per-component lines.
+        """
+        self.network_bytes += other.network_bytes
+        self.kv_reads += other.kv_reads
+        for name, seconds in other.breakdown.items():
+            self.add_time(component or name, seconds * time_scale)
+
 
 @dataclass
 class CostEstimate:
@@ -186,6 +206,9 @@ class QueryPlan:
     #: always reports the *current* staleness, not the staleness at
     #: pricing time.
     staleness: "dict[str, int]" = field(default_factory=dict)
+    #: region servers the executor's scatter/gather layer can fan out
+    #: across (1 = single-server topology, serial RPC rounds)
+    servers: int = 1
 
     @property
     def chosen(self) -> str:
@@ -570,6 +593,7 @@ class QueryPlanner:
             estimates=estimates,
             statistics=labels,
             staleness=self._staleness_for(query),
+            servers=self._fanout,
         )
         if shared is not None:
             shared.store(key, plan, versions, epoch)
@@ -600,6 +624,43 @@ class QueryPlanner:
     def _parallelism(self) -> int:
         model = self.platform.cost_model
         return max(1, model.worker_nodes * model.task_slots_per_node)
+
+    @property
+    def _fanout(self) -> int:
+        """Region servers the scatter/gather executor can fan out across
+        (1 on the default single-server topology = serial RPC rounds)."""
+        topology = self.platform.ctx.topology
+        return topology.num_servers if topology.parallel else 1
+
+    def _merge_scatter_sides(
+        self,
+        ledger: CostLedger,
+        sides: "tuple[CostLedger, ...]",
+        paired_rounds: int,
+        fanout: int,
+    ) -> None:
+        """Fold per-side scratch ledgers priced as concurrent scatter
+        streams (the executor's per-server queue model): the slowest side
+        is charged in full, every other side keeps only its expected
+        same-server queue-collision share ``1/fanout`` of its time (under
+        the ``fanout overlap`` component), and each paired round pays the
+        cross-server dispatch overhead weighted by the chance the round
+        actually spans more than one server.  Counters are absorbed
+        unchanged — fan-out hides latency, it does not remove work."""
+        model = self.platform.cost_model
+        ordered = sorted(sides, key=lambda side: side.time_s, reverse=True)
+        ledger.merge(ordered[0])
+        collision = 1.0 / fanout
+        for other in ordered[1:]:
+            ledger.merge(other, time_scale=collision, component="fanout overlap")
+        span = min(len(sides), fanout)
+        ledger.add_time(
+            "fanout dispatch",
+            model.fanout_dispatch_s
+            * paired_rounds
+            * (span - 1)
+            * (1.0 - collision),
+        )
 
     def _index_note(self, stats: TableStatistics, kind: str) -> str:
         if stats.index(kind).built:
@@ -667,13 +728,16 @@ class QueryPlanner:
         # no overshoot term: the operator checks termination per tuple
         # while draining a batch, so the scanner never ships beyond the
         # batches the simulation already counts
+        fanout = self._fanout
+        side_ledgers = (self._ledger(), self._ledger()) if fanout > 1 else None
         for side in (0, 1):
+            target = ledger if side_ledgers is None else side_ledgers[side]
             rounds = batches[side]
             tuples = consumed[side]
             scanned_bytes = tuples * cell_bytes[side]
-            ledger.server_read("index scan", scanned_bytes, tuples, sequential=True)
+            target.server_read("index scan", scanned_bytes, tuples, sequential=True)
             for _ in range(rounds):
-                ledger.rpc(
+                target.rpc(
                     "batch RPCs",
                     RESPONSE_OVERHEAD_BYTES,
                     RESPONSE_OVERHEAD_BYTES + scanned_bytes / max(1, rounds),
@@ -684,6 +748,16 @@ class QueryPlanner:
             f"{batches[0]}+{batches[1]} batches of {batch[0]}/{batch[1]} rows",
             self._index_note(left, "isl"),
         ]
+        if side_ledgers is not None:
+            # both cursors' batch pulls go out as one scatter round; the
+            # faster side's queue time hides behind the slower side's
+            self._merge_scatter_sides(
+                ledger, side_ledgers, min(batches[0], batches[1]), fanout
+            )
+            notes.append(
+                f"fan-out: paired batch rounds scattered over {fanout} "
+                "region servers"
+            )
         return CostEstimate.from_ledger("ISL", ledger, notes)
 
     # -- BFHM ---------------------------------------------------------------------
@@ -788,6 +862,11 @@ class QueryPlanner:
                 f"(+{repair_buckets} buckets, +{int(round(repair_rows))} "
                 "reverse rows)"
             )
+        if self._fanout > 1:
+            notes.append(
+                f"fan-out: reverse multi-gets scattered over up to "
+                f"{self._fanout} region servers (bucket pairs co-locate)"
+            )
         notes.append(self._index_note(left, "bfhm"))
         return CostEstimate.from_ledger("BFHM", ledger, notes)
 
@@ -832,21 +911,33 @@ class QueryPlanner:
                     ledger.rpc(bucket_label, REQUEST_OVERHEAD_BYTES, blob_bytes)
                     ledger.cpu(decode_label, count, model.blob_decode_cpu_factor)
 
-                # reverse-mapping point reads (multi-gets batched per region)
+                # reverse-mapping point reads (multi-gets batched per
+                # region).  On multi-server topologies the multi-get
+                # scatters per region server, so its queue time divides by
+                # the servers it spans; bucket fetches above stay serial —
+                # both sides' blob rows share row keys and co-locate.
                 rows = entry.reverse_rows[side]
                 if not rows:
                     continue
                 row_bytes, row_cells = reverse_shape[side]
                 total_bytes = rows * row_bytes
-                ledger.server_read_rows(
+                rpcs = min(int(math.ceil(rows)), model.worker_nodes)
+                spread = min(self._fanout, rpcs)
+                target = ledger if spread <= 1 else CostLedger(model)
+                target.server_read_rows(
                     reverse_label, rows, total_bytes, rows * row_cells
                 )
-                rpcs = min(int(math.ceil(rows)), model.worker_nodes)
                 for _ in range(rpcs):
-                    ledger.rpc(
+                    target.rpc(
                         reverse_label,
                         REQUEST_OVERHEAD_BYTES,
                         total_bytes / max(1, rpcs),
+                    )
+                if target is not ledger:
+                    ledger.merge(target, time_scale=1.0 / spread)
+                    ledger.add_time(
+                        f"{prefix}fanout dispatch",
+                        model.fanout_dispatch_s * (spread - 1),
                     )
 
     # -- IJLMR -------------------------------------------------------------------
@@ -1119,7 +1210,12 @@ class QueryPlanner:
         consumed, batches = _simulate_hrjn_n(
             profiles, query.function, query.k, batch, sel
         )
+        fanout = self._fanout
+        side_ledgers = (
+            tuple(self._ledger() for _ in stats) if fanout > 1 else None
+        )
         for side, side_stats in enumerate(stats):
+            target = ledger if side_ledgers is None else side_ledgers[side]
             index = side_stats.index("isl")
             if index.built and index.cells:
                 cell_bytes = index.avg_cell_bytes
@@ -1132,13 +1228,15 @@ class QueryPlanner:
             rounds = batches[side]
             tuples = consumed[side]
             scanned_bytes = tuples * cell_bytes
-            ledger.server_read("index scan", scanned_bytes, tuples, sequential=True)
+            target.server_read("index scan", scanned_bytes, tuples, sequential=True)
             for _ in range(rounds):
-                ledger.rpc(
+                target.rpc(
                     "batch RPCs",
                     RESPONSE_OVERHEAD_BYTES,
                     RESPONSE_OVERHEAD_BYTES + scanned_bytes / max(1, rounds),
                 )
+        if side_ledgers is not None:
+            self._merge_scatter_sides(ledger, side_ledgers, min(batches), fanout)
 
         notes = [
             "scan depth ≈ "
@@ -1148,6 +1246,10 @@ class QueryPlanner:
             + " batches",
             self._index_note(stats[0], "isl"),
         ]
+        if side_ledgers is not None:
+            notes.append(
+                f"fan-out: batch rounds scattered over {fanout} region servers"
+            )
         return CostEstimate.from_ledger("ISL", ledger, notes)
 
     def _estimate_multi_hrjn(

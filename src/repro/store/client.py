@@ -85,6 +85,12 @@ class Scan:
     caching: int = 100
     filter: "Filter | None" = None
     limit: "int | None" = None
+    #: opt-in parallel scan: on a multi-server topology, regions are
+    #: scanned per region server concurrently and gathered back in key
+    #: order.  Only unlimited scans scatter — a ``limit`` relies on
+    #: serial early termination, and prefetching every region would
+    #: charge work the serial model never performs.
+    scatter: bool = False
 
 
 class Store:
@@ -261,6 +267,26 @@ class HTable:
             return
         model = self.ctx.cost_model
         payload = sum(cell.serialized_size() for cell in cells)
+        if self.ctx.topology.parallel:
+            plan = self._route_mutations(cells)
+            if len(plan) > 1:
+                # the table write itself is serialized by the region lock
+                # either way; multi-server pricing charges each server's
+                # share of the WAL/replication pipeline as a parallel round
+                self.table.apply_batch(cells)
+                replicated = payload * (model.hdfs_replication - 1)
+                self.ctx.metrics.add_network(payload + replicated)
+                per_server = [
+                    region_count * model.rpc_latency_s
+                    + model.network_time(server_payload * model.hdfs_replication)
+                    for region_count, server_payload in plan.values()
+                ]
+                self.ctx.metrics.advance_time(
+                    model.scatter_round_time(per_server)
+                )
+                self.ctx.metrics.bump("fanout_rounds")
+                self.ctx.metrics.bump("fanout_rounds_mutate")
+                return
         regions_touched = self.table.apply_batch(cells)
         # client -> server transfer + WAL replication (HDFS pipeline writes
         # replication-1 extra copies across the network)
@@ -270,6 +296,29 @@ class HTable:
             regions_touched * model.rpc_latency_s
             + model.network_time(payload + replicated)
         )
+
+    def _route_mutations(
+        self, cells: "list[Cell]"
+    ) -> "dict[int, tuple[int, int]]":
+        """Group a mutation batch by region server: server id -> (distinct
+        regions touched, payload bytes), in first-touch order.  Routed
+        against the pre-write region map — a mid-batch split may shift a
+        region boundary, but pricing against the routing the client saw is
+        exactly what a real scatter client would pay."""
+        topology = self.ctx.topology
+        regions_by_server: "dict[int, set[int]]" = {}
+        payload_by_server: "dict[int, int]" = {}
+        for cell in cells:
+            region = self.table.region_for(cell.row)
+            server_id = topology.server_for(region)
+            regions_by_server.setdefault(server_id, set()).add(id(region))
+            payload_by_server[server_id] = (
+                payload_by_server.get(server_id, 0) + cell.serialized_size()
+            )
+        return {
+            server_id: (len(regions_by_server[server_id]), payload)
+            for server_id, payload in payload_by_server.items()
+        }
 
     # -- reads ------------------------------------------------------------------
 
@@ -288,8 +337,19 @@ class HTable:
         """Batched point reads: one RPC per region touched (HBase multi-get).
 
         Server-side read costs are identical to individual gets; only the
-        per-row RPC latency is amortized.
+        per-row RPC latency is amortized.  On a multi-server topology the
+        per-server slices execute as one parallel scatter round (results
+        still return in request order); single-server stays on the seed
+        serial path bit-for-bit.
         """
+        if self.ctx.topology.parallel and len(gets) > 1:
+            groups: "dict[int, list[int]]" = {}
+            for index, get in enumerate(gets):
+                region = self.table.region_for(get.row)
+                server_id = self.ctx.topology.server_for(region)
+                groups.setdefault(server_id, []).append(index)
+            if len(groups) > 1:
+                return self._multi_get_scatter(gets, groups)
         results: list[RowResult] = []
         regions_touched = set()
         request_bytes = 0
@@ -315,6 +375,59 @@ class HTable:
                 + model.network_time(total)
             )
         return results
+
+    def _multi_get_scatter(
+        self, gets: "list[Get]", groups: "dict[int, list[int]]"
+    ) -> list[RowResult]:
+        """One parallel multi-get round: each region server resolves its
+        slice (charging its reads and per-region RPCs inside the round's
+        captured queue), and the client gathers responses back into
+        request order.  Counters match the serial path exactly; only the
+        simulated time becomes max-over-servers plus dispatch overhead.
+        """
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        def server_slice(indices: "list[int]"):
+            def run() -> "list[tuple[int, RowResult]]":
+                model = self.ctx.cost_model
+                picked: "list[tuple[int, RowResult]]" = []
+                regions_touched = set()
+                request_bytes = 0
+                response_bytes = 0
+                for index in indices:
+                    get = gets[index]
+                    region = self.table.region_for(get.row)
+                    regions_touched.add(id(region))
+                    result = region.read_row(get.row, get.families)
+                    self.ctx.charge_server_read(
+                        result.serialized_size(),
+                        max(len(result), 1),
+                        sequential=False,
+                    )
+                    request_bytes += len(get.row)
+                    response_bytes += result.serialized_size()
+                    picked.append((index, result))
+                request_bytes += REQUEST_OVERHEAD_BYTES * len(regions_touched)
+                total = request_bytes + response_bytes
+                self.ctx.metrics.add_network(total)
+                self.ctx.metrics.advance_time(
+                    len(regions_touched) * model.rpc_latency_s
+                    + model.network_time(total)
+                )
+                return picked
+
+            return run
+
+        tasks = [
+            ScatterTask(server_id, server_slice(indices))
+            for server_id, indices in groups.items()
+        ]
+        gathered = scatter_gather(self.ctx, tasks, label="multi_get")
+        results: "list[RowResult | None]" = [None] * len(gets)
+        for slice_results in gathered:
+            for index, result in slice_results:
+                results[index] = result
+        return results  # type: ignore[return-value]
 
     def scan(self, scan: Scan) -> Iterator[RowResult]:
         """Metered scan honoring batching, filters, and limits."""

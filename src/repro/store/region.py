@@ -226,12 +226,21 @@ class Region:
     # -- splitting ----------------------------------------------------------
 
     def midpoint_key(self) -> "str | None":
-        """Median row key, or ``None`` if the region cannot split."""
+        """Median distinct row key, or ``None`` if the region cannot split.
+
+        The candidate must leave BOTH daughters non-empty: the split
+        contract routes ``row < split_key`` to the lower daughter and
+        ``row >= split_key`` to the upper, so a candidate at (or below —
+        defensive against skewed inputs) the smallest stored key would
+        produce an empty lower region that keeps its routing range forever
+        without ever holding a row.  A region whose cells all share one
+        row key therefore reports "cannot split" rather than degenerating.
+        """
         rows = sorted({cell.row for cell in self.all_raw_cells()})
         if len(rows) < 2:
             return None
         middle = rows[len(rows) // 2]
-        if middle == rows[0]:
+        if middle <= rows[0]:
             return None
         return middle
 

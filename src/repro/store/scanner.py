@@ -44,6 +44,13 @@ class RegionScanner:
         limit = scan.limit
         caching = max(1, scan.caching)
 
+        if scan.scatter and limit is None and ctx.topology.parallel:
+            regions = table.regions_in_range(scan.start_row, scan.stop_row)
+            groups = ctx.topology.assignments(regions)
+            if len(groups) > 1:
+                yield from self._iter_scatter(regions, groups)
+                return
+
         for region in table.regions_in_range(scan.start_row, scan.stop_row):
             # region server streams its slice; each RPC pulls one batch
             rows = region.scan_rows(scan.start_row, scan.stop_row, scan.families)
@@ -74,3 +81,71 @@ class RegionScanner:
                         return
                     self.rows_returned += 1
                     yield row
+
+    def _iter_scatter(self, regions, groups) -> Iterator[RowResult]:
+        """Parallel scan: each region server streams its regions inside one
+        scatter round (per-batch charges identical to the serial path,
+        captured into that server's queue), then rows are gathered back in
+        global key order.  ``regions`` is already key-ordered and each
+        group preserves that order, so ordering falls out of re-walking
+        ``regions`` against the per-region buffers."""
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        scan = self.scan
+        ctx = self.htable.ctx
+        caching = max(1, scan.caching)
+
+        def server_scan(server_regions):
+            def run() -> "tuple[int, dict[int, list[RowResult]]]":
+                round_trips = 0
+                shipped_by_region: "dict[int, list[RowResult]]" = {}
+                for region in server_regions:
+                    collected: "list[RowResult]" = []
+                    rows = region.scan_rows(
+                        scan.start_row, scan.stop_row, scan.families
+                    )
+                    while True:
+                        batch = list(islice(rows, caching))
+                        if not batch:
+                            break
+                        round_trips += 1
+                        scanned_cells = sum(len(row) for row in batch)
+                        scanned_bytes = sum(
+                            row.serialized_size() for row in batch
+                        )
+                        ctx.charge_server_read(
+                            scanned_bytes, scanned_cells, sequential=True
+                        )
+                        if scan.filter is not None:
+                            shipped = [
+                                row for row in batch if scan.filter.matches(row)
+                            ]
+                            shipped_bytes = sum(
+                                row.serialized_size() for row in shipped
+                            )
+                        else:
+                            shipped = batch
+                            shipped_bytes = scanned_bytes
+                        ctx.charge_rpc(
+                            RESPONSE_OVERHEAD_BYTES,
+                            RESPONSE_OVERHEAD_BYTES + shipped_bytes,
+                        )
+                        collected.extend(shipped)
+                    shipped_by_region[id(region)] = collected
+                return round_trips, shipped_by_region
+
+            return run
+
+        tasks = [
+            ScatterTask(server_id, server_scan(server_regions))
+            for server_id, server_regions in groups.items()
+        ]
+        gathered = scatter_gather(ctx, tasks, label="scan")
+        rows_by_region: "dict[int, list[RowResult]]" = {}
+        for round_trips, shipped_by_region in gathered:
+            self.rpc_round_trips += round_trips
+            rows_by_region.update(shipped_by_region)
+        for region in regions:
+            for row in rows_by_region.get(id(region), []):
+                self.rows_returned += 1
+                yield row

@@ -1,0 +1,97 @@
+"""ClusterTopology / RegionBalancer: node->server assignment invariants."""
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.cluster.simulation import SimCluster
+from repro.cluster.topology import ClusterTopology, RegionBalancer
+from repro.platform import Platform
+from repro.store.client import Put
+
+
+@pytest.fixture()
+def cluster():
+    return SimCluster(EC2_PROFILE)
+
+
+class TestConstruction:
+    def test_default_is_single_server(self, cluster):
+        topology = ClusterTopology(cluster)
+        assert topology.num_servers == 1
+        assert not topology.parallel
+
+    def test_multi_server_is_parallel(self, cluster):
+        topology = ClusterTopology(cluster, num_servers=4)
+        assert topology.num_servers == 4
+        assert topology.parallel
+
+    def test_zero_servers_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            ClusterTopology(cluster, num_servers=0)
+
+    def test_clamped_to_worker_count(self, cluster):
+        topology = ClusterTopology(cluster, num_servers=999)
+        assert topology.num_servers == len(cluster.workers)
+
+    def test_every_server_owns_a_node(self, cluster):
+        topology = ClusterTopology(cluster, num_servers=3)
+        for server in topology.servers:
+            assert server.node_ids
+
+    def test_round_robin_stripes_workers(self, cluster):
+        topology = ClusterTopology(cluster, num_servers=3)
+        for index, worker in enumerate(cluster.workers):
+            assert topology.server_for_node(worker.node_id) == index % 3
+
+    def test_master_routes_to_server_zero(self, cluster):
+        topology = ClusterTopology(cluster, num_servers=4)
+        assert topology.server_for_node(cluster.master.node_id) == 0
+
+    def test_bad_balancer_rejected(self, cluster):
+        class Broken(RegionBalancer):
+            def server_for_worker(self, worker_index, num_servers):
+                return num_servers + 5
+
+        with pytest.raises(ValueError):
+            ClusterTopology(cluster, num_servers=2, balancer=Broken())
+
+
+class TestRegionRouting:
+    def _regions(self, num_servers):
+        platform = Platform(EC2_PROFILE, num_servers=num_servers)
+        htable = platform.store.create_table(
+            "t", {"d"}, split_keys=[f"r{i}" for i in range(1, 8)]
+        )
+        for i in range(8):
+            put = Put(f"r{i}")
+            put.add("d", "q", b"v")
+            htable.put(put)
+        return platform.ctx.topology, platform.store.backing("t").regions
+
+    def test_regions_span_all_servers(self):
+        topology, regions = self._regions(num_servers=4)
+        assert topology.spread(list(regions)) == 4
+
+    def test_assignments_preserve_key_order_within_groups(self):
+        topology, regions = self._regions(num_servers=4)
+        groups = topology.assignments(list(regions))
+        ordered = [id(region) for region in regions]
+        for group in groups.values():
+            indices = [ordered.index(id(region)) for region in group]
+            assert indices == sorted(indices)
+
+    def test_assignments_cover_every_region_once(self):
+        topology, regions = self._regions(num_servers=3)
+        groups = topology.assignments(list(regions))
+        grouped = [id(r) for group in groups.values() for r in group]
+        assert sorted(grouped) == sorted(id(r) for r in regions)
+
+    def test_single_server_groups_to_one(self):
+        topology, regions = self._regions(num_servers=1)
+        assert topology.spread(list(regions)) == 1
+
+    def test_describe_lists_every_server(self):
+        topology, _ = self._regions(num_servers=4)
+        text = topology.describe()
+        for server in topology.servers:
+            assert server.name in text

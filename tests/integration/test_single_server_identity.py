@@ -1,0 +1,99 @@
+"""Single-server simulated metrics are pinned bit-for-bit.
+
+The scatter/gather layer must leave the default (one region server)
+configuration's fig7/8-style simulated metrics untouched — the PR-2/PR-5
+methodology.  This suite replays a compact grid (Q1/Q2 x k x algorithm on
+the shared EC2-profile setup) and compares every cell's simulated time,
+network bytes, and KV reads against ``golden_single_server.json``,
+captured on the commit *before* the scatter/gather layer landed.
+
+Floats are compared exactly: JSON round-trips Python floats losslessly
+(repr-shortest), so any drift — even one reordered floating-point add in a
+charging path — fails here.
+
+Regenerate (only when an intentional metering change lands, with the same
+justification discipline as the Golomb golden vectors)::
+
+    GOLDEN_SINGLE_SERVER_OUT=tests/integration/golden_single_server.json \
+        python -m pytest tests/integration/test_single_server_identity.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import build_setup
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.tpch.queries import q1, q2
+
+GOLDEN_PATH = Path(__file__).parent / "golden_single_server.json"
+
+#: the pinned grid — small enough to stay cheap in tier-1, wide enough to
+#: cross every charging path the fan-out layer touches (batched scans for
+#: ISL, point gets + multi-gets for BFHM, a full MapReduce job for IJLMR,
+#: filtered scans + scratch tables for DRJN)
+KS = [1, 10, 50]
+ALGORITHMS = ["isl", "bfhm", "ijlmr", "drjn"]
+QUERIES = [("Q1", q1), ("Q2", q2)]
+
+
+@pytest.fixture(scope="module")
+def pinned_setup():
+    """A private setup, NOT the session-shared one.
+
+    ``shared_setup`` accumulates deterministic-but-order-dependent state
+    as other read-only tests execute queries against it (MapReduce
+    placement cursors, timestamp counters), so grid metrics there depend
+    on which tests ran first.  The golden is pinned against a fresh
+    setup prepared exactly like ``shared_setup``'s construction.
+    """
+    setup = build_setup(EC2_PROFILE, micro_scale=0.2, seed=42)
+    for name in ("ijlmr", "isl", "bfhm", "drjn"):
+        setup.engine.algorithm(name).prepare(q1(1))
+        setup.engine.algorithm(name).prepare(q2(1))
+    return setup
+
+
+def _run_grid(setup) -> "dict[str, dict[str, float]]":
+    cells: "dict[str, dict[str, float]]" = {}
+    for qname, factory in QUERIES:
+        for k in KS:
+            query = factory(k)
+            for algorithm in ALGORITHMS:
+                result = setup.engine.execute(query, algorithm=algorithm)
+                metrics = result.metrics
+                cells[f"{qname}_k{k}_{algorithm}"] = {
+                    "time_s": metrics.sim_time_s,
+                    "network_bytes": metrics.network_bytes,
+                    "kv_reads": metrics.kv_reads,
+                }
+    return cells
+
+
+def test_single_server_grid_is_bit_identical(pinned_setup):
+    """Every grid cell's simulated metrics equal the pre-PR golden exactly."""
+    cells = _run_grid(pinned_setup)
+
+    out = os.environ.get("GOLDEN_SINGLE_SERVER_OUT")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(cells, fh, indent=1, sort_keys=True)
+        pytest.skip(f"golden regenerated at {out}")
+
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert set(cells) == set(golden)
+    mismatches = []
+    for name in sorted(golden):
+        for metric, expected in golden[name].items():
+            actual = cells[name][metric]
+            if actual != expected:
+                mismatches.append(f"{name}.{metric}: {expected!r} -> {actual!r}")
+    assert not mismatches, (
+        "single-server simulated metrics drifted from the pre-scatter "
+        "golden:\n  " + "\n  ".join(mismatches)
+    )

@@ -1,0 +1,132 @@
+"""Scan vs. auto-split race (stress): copy-on-write region rebinding.
+
+A scan that races concurrent writers — whose flushes push regions over
+``max_region_bytes`` and trigger auto-splits of exactly the key range
+being scanned — must observe every visible row exactly once and in key
+order.  ``StoreTable._try_split`` rebinds the region list copy-on-write,
+so a scanner that routed against the old list keeps a consistent view
+(the parent region still holds its data) while new scans route against
+the daughters.
+
+The writers only *rewrite* existing rows with fresh versions, so the
+visible row set is a constant the scanners can assert exact equality
+against.  Runs under the stress marker, which arms the locktrace fixture:
+the run's lock acquisition-order graph is also checked for cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.platform import Platform
+from repro.store.client import Put, Scan
+
+pytestmark = pytest.mark.stress
+
+ROWS = 600
+LIMIT = 120
+KEYS = [f"r{i:06d}" for i in range(ROWS)]
+
+
+def _build(num_servers: int = 1):
+    platform = Platform(EC2_PROFILE, num_servers=num_servers)
+    htable = platform.store.create_table(
+        "race", {"d"}, max_region_bytes=4096
+    )
+    for key in KEYS:
+        put = Put(key)
+        put.add("d", "q", b"s" * 32)
+        htable.put(put)
+    htable.flush()
+    return platform, htable
+
+
+def _race(htable, scan_once, scan_rounds: int, failures: list) -> int:
+    """Run 4 rewriter threads against 3 scanner threads until every
+    scanner has done ``scan_rounds`` scans AND at least one auto-split
+    has fired mid-race (30 s safety deadline); returns the number of
+    regions gained while the race ran."""
+    stop = threading.Event()
+    rounds = [0, 0, 0]
+
+    def rewriter(worker: int) -> None:
+        # rewriting existing rows never changes the visible row set, but
+        # every flush grows disk_size and drives auto-splits of the same
+        # regions the scanners are traversing
+        try:
+            while not stop.is_set():
+                for index in range(worker, ROWS, 4):
+                    put = Put(KEYS[index])
+                    put.add("d", "q", b"x" * 64)
+                    htable.put(put)
+                htable.flush()
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    def scanner(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                scan_once(rounds[slot])
+                rounds[slot] += 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+
+    regions_before = len(htable.table.regions)
+    threads = [
+        threading.Thread(target=rewriter, args=(worker,)) for worker in range(4)
+    ] + [threading.Thread(target=scanner, args=(slot,)) for slot in range(3)]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and not failures:
+        split_fired = len(htable.table.regions) > regions_before
+        if split_fired and min(rounds) >= scan_rounds:
+            break
+        time.sleep(0.02)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    return len(htable.table.regions) - regions_before
+
+
+class TestScanSplitRace:
+    def test_limited_scan_sees_each_visible_row_once_in_order(self):
+        _, htable = _build()
+        failures: list = []
+
+        def scan_once(round_index: int) -> None:
+            start_index = (round_index * 37) % (ROWS - LIMIT)
+            observed = [
+                row.row
+                for row in htable.scan(
+                    Scan(
+                        start_row=KEYS[start_index],
+                        limit=LIMIT,
+                        families={"d"},
+                    )
+                )
+            ]
+            assert observed == KEYS[start_index : start_index + LIMIT]
+
+        gained = _race(htable, scan_once, scan_rounds=40, failures=failures)
+        assert not failures, failures
+        assert gained > 0, "race window never produced an auto-split"
+
+    def test_scatter_scan_race_on_multi_server_topology(self):
+        _, htable = _build(num_servers=4)
+        failures: list = []
+
+        def scan_once(round_index: int) -> None:
+            observed = [
+                row.row
+                for row in htable.scan(Scan(families={"d"}, scatter=True))
+            ]
+            assert observed == KEYS
+
+        gained = _race(htable, scan_once, scan_rounds=25, failures=failures)
+        assert not failures, failures
+        assert gained > 0, "race window never produced an auto-split"

@@ -1,0 +1,101 @@
+"""Aggregate every committed ``BENCH_*.json`` into one trajectory table.
+
+Usage: python tools/bench_summary.py [DIR]
+
+Perf history lives in one baseline file per bench suite (read path,
+sketch, serving, ingest, multi-way, planner accuracy, scatter/gather).
+This tool flattens them all into a single greppable table — one line per
+``suite/workload`` with its headline number — plus each suite's meta
+headline facts, so "what did X cost at this commit" is one grep away:
+
+    python tools/bench_summary.py | grep serving
+
+Reads only committed baselines (``*.candidate.json`` intermediates are
+skipped); exit code is 2 when no baseline files are found, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+#: meta keys worth a summary line of their own (headline derived metrics)
+META_HIGHLIGHTS = (
+    "speedup",
+    "qps",
+    "hit_rate",
+    "blob_speedup_vs_seed",
+    "coder_speedup_vs_seed",
+    "result_mismatches",
+)
+
+
+def _suite_name(path: str) -> str:
+    base = os.path.basename(path)
+    return base[len("BENCH_"):-len(".json")]
+
+
+def _flatten_meta(meta: dict, prefix: str = "") -> "list[tuple[str, float]]":
+    rows = []
+    for key, value in sorted(meta.items()):
+        if isinstance(value, dict):
+            rows.extend(_flatten_meta(value, prefix=f"{prefix}{key}."))
+        elif f"{prefix}{key}".split(".")[-1] in META_HIGHLIGHTS and isinstance(
+            value, (int, float)
+        ):
+            rows.append((f"{prefix}{key}", float(value)))
+    return rows
+
+
+def summarize(directory: str) -> "list[str]":
+    """The trajectory table as a list of printable lines."""
+    paths = sorted(
+        path
+        for path in glob.glob(os.path.join(directory, "BENCH_*.json"))
+        if not path.endswith(".candidate.json")
+    )
+    if not paths:
+        return []
+    lines = []
+    header = (
+        f"{'suite':<10} {'workload':<28} {'seconds':>12} {'extra':<24}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for path in paths:
+        suite = _suite_name(path)
+        with open(path) as fh:
+            data = json.load(fh)
+        for name, cell in sorted(data.get("workloads", {}).items()):
+            seconds = cell.get("seconds")
+            extras = []
+            for key in ("ops", "per_op_us", "kv_reads", "network_bytes",
+                        "chosen", "fastest"):
+                if key in cell:
+                    extras.append(f"{key}={cell[key]}")
+            lines.append(
+                f"{suite:<10} {name:<28} "
+                + (f"{seconds:>12.6f} " if seconds is not None else f"{'—':>12} ")
+                + f"{' '.join(extras):<24}"
+            )
+        for key, value in _flatten_meta(data.get("meta", {})):
+            lines.append(
+                f"{suite:<10} {'meta:' + key:<28} {'':>12} {value:<24g}"
+            )
+    return lines
+
+
+def main(argv: "list[str]") -> int:
+    directory = argv[1] if len(argv) > 1 else "."
+    lines = summarize(directory)
+    if not lines:
+        print(f"no BENCH_*.json baselines under {directory}")
+        return 2
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
