@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest bench-scatter bench-all lint lint-changed docs-check examples all
+.PHONY: test stress chaos bench bench-planner bench-wallclock bench-multiway bench-sketch bench-serving bench-ingest bench-scatter bench-parallel bench-all lint lint-changed docs-check examples all
 
 ## tier-1: the full suite (unit + algorithms + integration + benchmarks)
 test:
@@ -66,6 +66,14 @@ bench-ingest:
 bench-scatter:
 	BENCH_SCATTER_OUT=BENCH_scatter.candidate.json $(PYTHON) -m pytest benchmarks/test_scatter.py -q
 	$(PYTHON) tools/bench_diff.py BENCH_scatter.json BENCH_scatter.candidate.json
+
+## process-parallel index builds: wall-clock serial-vs-process timings
+## (simulated metrics asserted identical; the >=2x speedup target only
+## fires on >=4-core machines), diffed against the committed
+## BENCH_parallel.json baseline (warn-only)
+bench-parallel:
+	BENCH_PARALLEL_OUT=BENCH_parallel.candidate.json $(PYTHON) -m pytest benchmarks/test_parallel_build.py -q
+	$(PYTHON) tools/bench_diff.py BENCH_parallel.json BENCH_parallel.candidate.json
 
 ## one greppable trajectory table over every committed BENCH_*.json
 bench-all:

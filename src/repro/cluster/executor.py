@@ -36,12 +36,14 @@ is running it, the classic shared-pool deadlock.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cluster.metrics import MetricsCollector
+from repro.common.registry import FnRef
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.simulation import SimContext
@@ -66,23 +68,37 @@ class ScatterPool:
         self.max_workers = max_workers
         self._lock = threading.Lock()
         self._executor: "ThreadPoolExecutor | None" = None
+        self._pid: "int | None" = None
 
     def executor(self) -> ThreadPoolExecutor:
-        """The pool, created on first use."""
+        """The pool, created on first use and re-created after a fork.
+
+        A ``fork()``ed child inherits this object but *not* the pool's
+        worker threads (only the forking thread survives in the child), so
+        submitting to an inherited executor would hang forever.  The
+        creating PID is remembered and a stale executor is dropped —
+        without joining threads that don't exist here — and rebuilt
+        lazily, per process.
+        """
         with self._lock:
+            if self._executor is not None and self._pid != os.getpid():
+                self._executor = None
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix="scatter",
                 )
+                self._pid = os.getpid()
             return self._executor
 
     def shutdown(self) -> None:
         """Tear the pool down (tests); the next round recreates it."""
         with self._lock:
             executor = self._executor
+            created_here = self._pid == os.getpid()
             self._executor = None
-        if executor is not None:
+            self._pid = None
+        if executor is not None and created_here:
             executor.shutdown(wait=True)
 
 
@@ -101,10 +117,20 @@ class ScatterTask:
     ``run`` executes that server's slice of the batched operation and
     charges its work through the ambient context metrics; it must only
     touch thread-safe state (lock-free store reads, routed metrics).
+
+    ``proc`` optionally names the same work as a registered, picklable
+    task (:class:`~repro.common.registry.FnRef`).  When every task of a
+    round carries one and the context runs ``parallelism="process"``, the
+    round executes on the spawn-based process pool instead of threads —
+    same results, same fold discipline, same simulated charges (workers
+    ship :class:`~repro.cluster.metrics.MetricsSnapshot` deltas back).
+    Store-touching tasks cannot offer a ``proc`` form: a worker process
+    has no live store to read.
     """
 
     server_id: int
     run: Callable[[], Any]
+    proc: "FnRef | None" = None
 
 
 _scatter_state = threading.local()
@@ -139,29 +165,43 @@ def scatter_gather(
     from repro.serving.metrics import install_router
 
     router = install_router(ctx)
-    rate = router.base.dollars_per_kv_read
-    collectors = [MetricsCollector(dollars_per_kv_read=rate) for _ in tasks]
 
-    def _execute(task: ScatterTask, collector: MetricsCollector) -> Any:
-        _scatter_state.active = True
-        try:
-            with router.scoped(collector):
-                return task.run()
-        finally:
-            _scatter_state.active = False
+    if ctx.parallelism == "process" and all(
+        task.proc is not None for task in tasks
+    ):
+        # every task named a registered picklable form: run the round in
+        # worker processes; each ships back (result, charge snapshot)
+        from repro.cluster.procpool import shared_process_pool
 
-    executor = shared_pool().executor()
-    futures = [
-        executor.submit(_execute, task, collector)
-        for task, collector in zip(tasks, collectors)
-    ]
-    results = [future.result() for future in futures]
+        outcomes = shared_process_pool().run([task.proc for task in tasks])
+        results = [result for result, _ in outcomes]
+        snapshots = [snapshot for _, snapshot in outcomes]
+    else:
+        rate = router.base.dollars_per_kv_read
+        collectors = [
+            MetricsCollector(dollars_per_kv_read=rate) for _ in tasks
+        ]
+
+        def _execute(task: ScatterTask, collector: MetricsCollector) -> Any:
+            _scatter_state.active = True
+            try:
+                with router.scoped(collector):
+                    return task.run()
+            finally:
+                _scatter_state.active = False
+
+        executor = shared_pool().executor()
+        futures = [
+            executor.submit(_execute, task, collector)
+            for task, collector in zip(tasks, collectors)
+        ]
+        results = [future.result() for future in futures]
+        snapshots = [collector.snapshot() for collector in collectors]
 
     # fold captured charges back in *task order* — combination must not
-    # depend on which thread finished first
+    # depend on which thread/process finished first, nor on the backend
     per_server: "dict[int, float]" = {}
-    for task, collector in zip(tasks, collectors):
-        captured = collector.snapshot()
+    for task, captured in zip(tasks, snapshots):
         router.active.absorb_counts(captured)
         per_server[task.server_id] = (
             per_server.get(task.server_id, 0.0) + captured.sim_time_s

@@ -1,0 +1,166 @@
+"""The process-pool execution backend: real CPU parallelism for hot paths.
+
+The thread-based :class:`~repro.cluster.executor.ScatterPool` overlaps
+simulated *latency*, but every byte of Python compute — Golomb blob
+encoding during BFHM builds, ISL score-key construction, MapReduce map
+functions — still serializes on the GIL.  :class:`ProcessScatterPool` runs
+registered tasks (:mod:`repro.common.registry`) in **spawn**-based worker
+processes instead, so the wall-clock benches see the fan-out too.
+
+Contract (the PR-9 discipline, now across a process boundary):
+
+* tasks are :class:`~repro.common.registry.FnRef` payloads — named
+  registered functions plus picklable arguments; store rows travel as
+  :mod:`repro.cluster.wire` blocks, never as live objects;
+* each worker invocation runs under a **fresh, process-local**
+  :class:`~repro.cluster.metrics.MetricsCollector` (exposed to task code
+  via :func:`worker_metrics`) and ships its immutable snapshot back —
+  collectors are never shared or pickled across the boundary;
+* the parent folds results and metric deltas **in task order**, so the
+  simulated metrics stay a pure function of the task list — independent
+  of pool size, scheduling, and whether the backend is threads or
+  processes.
+
+Spawn (not fork) is deliberate: a forked child would inherit the parent's
+thread-pool handles, lock-tracer state, and half-initialized locks; spawn
+children rebuild their world from imports.  The pool itself is also
+fork-safe on the *parent* side — it remembers the PID that created its
+executor and lazily re-creates it in any process that inherited the object
+(see the executor/locktrace counterpart audit in ``tests/cluster``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.cluster.metrics import MetricsCollector, MetricsSnapshot
+from repro.common.registry import FnRef, lookup
+
+#: environment override for the worker count (benchmarks, CI)
+WORKERS_ENV = "REPRO_PROCESS_WORKERS"
+#: hard cap — index builds fan out per region, not per core-times-many
+MAX_PROCESS_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """Worker processes to run by default: ``REPRO_PROCESS_WORKERS`` if
+    set, else every core up to :data:`MAX_PROCESS_WORKERS`."""
+    configured = os.environ.get(WORKERS_ENV)
+    if configured:
+        return max(1, int(configured))
+    return max(1, min(MAX_PROCESS_WORKERS, os.cpu_count() or 1))
+
+
+#: the invoked task's ambient collector (one per worker invocation);
+#: module-global because a worker process runs one task at a time
+_WORKER_COLLECTOR: "MetricsCollector | None" = None
+
+
+def worker_metrics() -> MetricsCollector:
+    """The collector a registered task charges while running in a worker.
+
+    Outside a worker invocation this returns a throwaway collector, so
+    task functions can charge unconditionally and still be runnable on
+    the serial/thread paths (where the caller's own metering applies).
+    """
+    collector = _WORKER_COLLECTOR
+    return collector if collector is not None else MetricsCollector()
+
+
+def _invoke(ref: FnRef) -> "tuple[Any, MetricsSnapshot]":
+    """Worker-side entry: run one registered task under a fresh collector
+    and return ``(result, charge snapshot)``."""
+    global _WORKER_COLLECTOR
+    collector = MetricsCollector()
+    _WORKER_COLLECTOR = collector
+    try:
+        result = lookup(ref)(ref.payload)
+    finally:
+        _WORKER_COLLECTOR = None
+    return result, collector.snapshot()
+
+
+class ProcessScatterPool:
+    """Process-wide lazily-created spawn pool for registered tasks.
+
+    Mirrors :class:`~repro.cluster.executor.ScatterPool`'s lifecycle: one
+    pool per process, created on first use, torn down by tests via
+    :meth:`shutdown`, re-created on next use.  ``configure`` resizes it
+    (tearing down a live executor of a different size); the creating PID
+    is remembered so a forked child never submits to inherited, dead
+    worker handles.
+    """
+
+    def __init__(self, max_workers: "int | None" = None) -> None:
+        self._lock = threading.Lock()
+        self._max_workers = max_workers
+        self._executor: "ProcessPoolExecutor | None" = None
+        self._pid: "int | None" = None
+
+    @property
+    def max_workers(self) -> int:
+        """The size the next-created executor will have."""
+        with self._lock:
+            return self._max_workers or default_worker_count()
+
+    def configure(self, max_workers: "int | None") -> None:
+        """Pin the worker count (None restores the default).  A live
+        executor of a different size is shut down; the next task batch
+        re-creates it at the new size."""
+        with self._lock:
+            if max_workers == self._max_workers:
+                return  # idempotent: a live right-sized pool keeps running
+            self._max_workers = max_workers
+            executor = self._executor
+            created_here = self._pid == os.getpid()
+            self._executor = None
+            self._pid = None
+        if executor is not None and created_here:
+            executor.shutdown(wait=True)
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The pool, created on first use and re-created after a fork."""
+        with self._lock:
+            if self._executor is not None and self._pid != os.getpid():
+                # inherited via fork: the worker processes belong to the
+                # parent; drop the handle without joining someone else's
+                # children and start fresh in this process
+                self._executor = None
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._max_workers or default_worker_count(),
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+                self._pid = os.getpid()
+            return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the pool down (tests); the next task batch recreates it."""
+        with self._lock:
+            executor = self._executor
+            created_here = self._pid == os.getpid()
+            self._executor = None
+            self._pid = None
+        if executor is not None and created_here:
+            executor.shutdown(wait=True)
+
+    def run(self, refs: "list[FnRef]") -> "list[tuple[Any, MetricsSnapshot]]":
+        """Run every ref on the pool; results + charge snapshots **in ref
+        order** (never completion order), exceptions propagated."""
+        if not refs:
+            return []
+        executor = self.executor()
+        futures = [executor.submit(_invoke, ref) for ref in refs]
+        return [future.result() for future in futures]
+
+
+_SHARED_PROCESS_POOL = ProcessScatterPool()
+
+
+def shared_process_pool() -> ProcessScatterPool:
+    """The process-wide pool shared by every process-parallel caller."""
+    return _SHARED_PROCESS_POOL

@@ -49,6 +49,36 @@ class RegionBalancer:
         ``worker_index`` of the cluster's worker list."""
         return worker_index % num_servers
 
+    def assign(self, num_workers: int, num_servers: int) -> "list[int]":
+        """Server id per worker position, for the whole cluster at once
+        (strategies that need the total worker count override this)."""
+        return [
+            self.server_for_worker(index, num_servers)
+            for index in range(num_workers)
+        ]
+
+
+class LocalityBalancer(RegionBalancer):
+    """Contiguous-block assignment: adjacent workers share a server.
+
+    Region placement round-robins over the worker list, so a small batch
+    of *consecutive* regions (a BFHM bucket's blob + reverse-mapping
+    fetches, a scan's next few regions) lands on consecutive workers.
+    Under the default striping balancer those consecutive workers all sit
+    on *different* servers — maximal fan-out, but every round pays the
+    per-extra-server dispatch overhead.  Assigning workers in contiguous
+    blocks co-locates adjacent regions instead, so narrow fetch rounds
+    touch fewer servers and skip dispatch overhead they don't need, at
+    the price of less overlap for genuinely wide rounds.  Round-robin
+    stays the default; this strategy is opt-in per platform.
+    """
+
+    def assign(self, num_workers: int, num_servers: int) -> "list[int]":
+        return [
+            index * num_servers // max(num_workers, 1)
+            for index in range(num_workers)
+        ]
+
 
 class RegionServer:
     """One region-server process: a server id plus the workers it owns."""
@@ -84,8 +114,9 @@ class ClusterTopology:
             server_id: [] for server_id in range(self.num_servers)
         }
         self._server_of_node: dict[int, int] = {}
+        assigned = self.balancer.assign(len(workers), self.num_servers)
         for index, worker in enumerate(workers):
-            server_id = self.balancer.server_for_worker(index, self.num_servers)
+            server_id = assigned[index]
             if not 0 <= server_id < self.num_servers:
                 raise ValueError(
                     f"balancer assigned worker {worker.node_id} to "

@@ -1,0 +1,112 @@
+"""Row/cell wire codec for shipping store data to worker processes.
+
+Process-parallel map waves hand each worker one split's rows.  Rather than
+pickling live :class:`~repro.store.cell.RowResult` objects (whose layout is
+an implementation detail), splits cross the boundary as a deterministic
+byte block built from each cell's frozen on-wire fields — the same
+``(row, family, qualifier, value, timestamp)`` quintuple whose sizes the
+simulated byte accounting is defined over, with cell *values* (including
+PR-5's frozen Golomb blob bytes) passed through verbatim.  Encoding is a
+pure function of the row list, so a block is reproducible and
+diff-friendly in tests.
+
+Layout (all integers big-endian)::
+
+    block  := magic "RW1" + u32 row_count + row*
+    row    := str(row_key) + tag + u32 cell_count + cell*
+    tag    := u32 length + bytes | u32 0xFFFFFFFF          (absent)
+    cell   := str(family) + str(qualifier) + u32 vlen + value
+              + u64 timestamp + u8 is_delete
+    str(s) := u32 length + utf-8 bytes
+
+Tags carry :class:`~repro.mapreduce.job.UnionTableInput`'s source-table
+labels.  Tombstones never appear in scan output, but the flag is encoded
+anyway so the codec round-trips any cell.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.store.cell import Cell, RowResult
+
+MAGIC = b"RW1"
+_NO_TAG = 0xFFFFFFFF
+_U32 = struct.Struct(">I")
+_CELL_TAIL = struct.Struct(">QB")
+
+
+def _pack_str(out: "list[bytes]", text: str) -> None:
+    raw = text.encode("utf-8")
+    out.append(_U32.pack(len(raw)))
+    out.append(raw)
+
+
+def encode_rows(
+    rows: "Iterable[RowResult]", tags: "list[str] | None" = None
+) -> bytes:
+    """Encode ``rows`` (with optional per-row source tags) as one block."""
+    rows = list(rows)
+    if tags is not None and len(tags) != len(rows):
+        raise ValueError(f"{len(tags)} tags for {len(rows)} rows")
+    out: "list[bytes]" = [MAGIC, _U32.pack(len(rows))]
+    for index, row in enumerate(rows):
+        _pack_str(out, row.row)
+        if tags is None:
+            out.append(_U32.pack(_NO_TAG))
+        else:
+            _pack_str(out, tags[index])
+        out.append(_U32.pack(len(row.cells)))
+        for cell in row.cells:
+            _pack_str(out, cell.family)
+            _pack_str(out, cell.qualifier)
+            out.append(_U32.pack(len(cell.value)))
+            out.append(cell.value)
+            out.append(_CELL_TAIL.pack(cell.timestamp, int(cell.is_delete)))
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def take(self, length: int) -> bytes:
+        raw = self.data[self.pos:self.pos + length]
+        if len(raw) != length:
+            raise ValueError("truncated row block")
+        self.pos += length
+        return raw
+
+    def string(self) -> str:
+        return self.take(self.u32()).decode("utf-8")
+
+
+def decode_rows(block: bytes) -> "list[tuple[str | None, RowResult]]":
+    """Inverse of :func:`encode_rows`: ``(tag, row)`` pairs in block order
+    (``tag`` is None for untagged blocks)."""
+    reader = _Reader(block)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise ValueError("not a row block (bad magic)")
+    decoded: "list[tuple[str | None, RowResult]]" = []
+    for _ in range(reader.u32()):
+        row_key = reader.string()
+        tag_length = reader.u32()
+        tag = None if tag_length == _NO_TAG else reader.take(tag_length).decode("utf-8")
+        row = RowResult(row_key)
+        for _ in range(reader.u32()):
+            family = reader.string()
+            qualifier = reader.string()
+            value = reader.take(reader.u32())
+            timestamp, is_delete = _CELL_TAIL.unpack(reader.take(_CELL_TAIL.size))
+            row.cells.append(
+                Cell(row_key, family, qualifier, value, timestamp, bool(is_delete))
+            )
+        decoded.append((tag, row))
+    return decoded

@@ -1,0 +1,106 @@
+"""Registered-by-name functions: the process-boundary task contract.
+
+A child worker process cannot receive a closure — pickling a lambda that
+closes over a live :class:`~repro.store.table.StoreTable` (or anything
+else in the parent's heap) is both impossible and, where pickle *would*
+succeed, a correctness hazard: the child would compute against a stale
+copy of the store.  So everything that crosses the process boundary is a
+:class:`FnRef` — the *name* of a function registered at import time plus a
+small picklable payload — and the worker resolves the name against its own
+freshly-imported module graph.
+
+The registry is deliberately an allowlist: only functions that opted in
+via :func:`proc_fn` can be named in a ref, so arbitrary callables can
+never be smuggled into a worker.  Registration happens at module import,
+which makes resolution deterministic on both sides of the boundary: the
+ref records the defining module, and a worker that has not imported it yet
+does so on first lookup.
+
+Registered functions must be pure functions of ``(payload, *call args)``
+apart from charges to the worker-ambient metrics collector (see
+:func:`repro.cluster.procpool.worker_metrics`); the parent folds those
+charges back in deterministic task order.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+_REGISTRY: "dict[str, Callable[..., Any]]" = {}
+_MODULE_OF: "dict[str, str]" = {}
+
+
+def proc_fn(name: str) -> "Callable[[Callable[..., Any]], Callable[..., Any]]":
+    """Decorator registering a function under ``name`` for process tasks.
+
+    Re-registration with the same module+function is idempotent (modules
+    may be re-imported); claiming an existing name from a different
+    function is an error — names are a global contract.
+    """
+
+    def register(fn: "Callable[..., Any]") -> "Callable[..., Any]":
+        existing = _REGISTRY.get(name)
+        if existing is not None and (
+            existing.__module__ != fn.__module__
+            or existing.__qualname__ != fn.__qualname__
+        ):
+            raise ValueError(
+                f"proc_fn name {name!r} already registered by "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        _REGISTRY[name] = fn
+        _MODULE_OF[name] = fn.__module__
+        return fn
+
+    return register
+
+
+@dataclass(frozen=True)
+class FnRef:
+    """A registered function plus its picklable bound payload.
+
+    ``module`` is recorded at creation so a worker process that has not
+    yet imported the defining module can do so before lookup.
+    """
+
+    name: str
+    module: str
+    payload: Any = None
+
+
+def fn_ref(name: str, payload: Any = None) -> FnRef:
+    """Build a ref to a registered function (validates the name now, on
+    the parent side, where the defining module is certainly imported)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"no proc_fn registered under {name!r}")
+    return FnRef(name, _MODULE_OF[name], payload)
+
+
+def lookup(ref: FnRef) -> "Callable[..., Any]":
+    """The registered function behind ``ref``, importing its module first
+    if this process has not seen it yet (the worker-side path)."""
+    fn = _REGISTRY.get(ref.name)
+    if fn is None:
+        importlib.import_module(ref.module)
+        fn = _REGISTRY.get(ref.name)
+        if fn is None:
+            raise KeyError(
+                f"module {ref.module!r} did not register proc_fn {ref.name!r}"
+            )
+    return fn
+
+
+def resolve(ref: FnRef) -> "Callable[..., Any]":
+    """``ref`` as a plain callable with the payload bound as first arg —
+    how the serial and thread execution paths run the very same function
+    the process path ships by name."""
+    fn = lookup(ref)
+    payload = ref.payload
+
+    def bound(*args: Any, **kwargs: Any) -> Any:
+        return fn(payload, *args, **kwargs)
+
+    bound.__name__ = f"resolved:{ref.name}"
+    return bound

@@ -37,6 +37,7 @@ from repro.core.bfhm.bucket import (
     encode_reverse_value,
     reverse_row_key,
 )
+from repro.common.registry import fn_ref, proc_fn
 from repro.core.indexes import BFHM_TABLE, ensure_index_table
 from repro.errors import IndexNotBuiltError
 from repro.mapreduce.job import Job, TableInput, TableOutput, TaskContext
@@ -50,6 +51,47 @@ from repro.store.client import Get, Put
 #: §7.1 filter configuration
 DEFAULT_FP_RATE = 0.05
 DEFAULT_NUM_BUCKETS = 100
+
+
+# -- build task functions (registered: the build job is process-capable) -----
+
+
+@proc_fn("bfhm.build_map")
+def _build_map(payload: dict, row_key: str, row, task: TaskContext) -> None:
+    """Bucket one base-relation row by score (Algorithm 5 map side)."""
+    join_raw = row.value(payload["family"], payload["join_column"])
+    score_raw = row.value(payload["family"], payload["score_column"])
+    if join_raw is None or score_raw is None:
+        task.bump("skipped_rows")
+        return
+    score = decode_float(score_raw)
+    bucket = score_to_bucket(score, payload["num_buckets"])
+    task.emit(bucket, [row_key, decode_str(join_raw), score])
+
+
+@proc_fn("bfhm.build_reduce")
+def _build_reduce(payload: dict, bucket: int, values: list, task: TaskContext) -> None:
+    """Build one bucket: filter, reverse-mapping rows, compressed blob."""
+    signature = payload["signature"]
+    bucket_filter = HybridBloomFilter(payload["m_bits"])
+    min_score = float("inf")
+    max_score = float("-inf")
+    for row_key, join_value, score in values:
+        bit_position = bucket_filter.insert(join_value)
+        min_score = min(min_score, score)
+        max_score = max(max_score, score)
+        reverse_put = Put(reverse_row_key(bucket, bit_position))
+        reverse_put.add(
+            signature, row_key, encode_reverse_value(join_value, score)
+        )
+        task.emit(reverse_put.row, reverse_put)
+    blob_put = Put(blob_row_key(bucket))
+    blob_put.add(signature, Q_BLOB, encode_blob(bucket_filter.to_blob()))
+    blob_put.add(signature, Q_MIN, encode_float(min_score))
+    blob_put.add(signature, Q_MAX, encode_float(max_score))
+    blob_put.add(signature, Q_COUNT, encode_str(str(len(values))))
+    task.emit(blob_put.row, blob_put)
+    task.bump("buckets_built")
 
 
 class BFHMIndexBuilder:
@@ -113,42 +155,22 @@ class BFHMIndexBuilder:
         ][1:]
         ensure_index_table(platform, BFHM_TABLE, signature, splits)
 
-        def map_fn(row_key: str, row, task: TaskContext) -> None:
-            join_raw = row.value(binding.family, binding.join_column)
-            score_raw = row.value(binding.family, binding.score_column)
-            if join_raw is None or score_raw is None:
-                task.bump("skipped_rows")
-                return
-            score = decode_float(score_raw)
-            bucket = score_to_bucket(score, num_buckets)
-            task.emit(bucket, [row_key, decode_str(join_raw), score])
-
-        def reduce_fn(bucket: int, values: list, task: TaskContext) -> None:
-            bucket_filter = HybridBloomFilter(m_bits)
-            min_score = float("inf")
-            max_score = float("-inf")
-            for row_key, join_value, score in values:
-                bit_position = bucket_filter.insert(join_value)
-                min_score = min(min_score, score)
-                max_score = max(max_score, score)
-                reverse_put = Put(reverse_row_key(bucket, bit_position))
-                reverse_put.add(
-                    signature, row_key, encode_reverse_value(join_value, score)
-                )
-                task.emit(reverse_put.row, reverse_put)
-            blob_put = Put(blob_row_key(bucket))
-            blob_put.add(signature, Q_BLOB, encode_blob(bucket_filter.to_blob()))
-            blob_put.add(signature, Q_MIN, encode_float(min_score))
-            blob_put.add(signature, Q_MAX, encode_float(max_score))
-            blob_put.add(signature, Q_COUNT, encode_str(str(len(values))))
-            task.emit(blob_put.row, blob_put)
-            task.bump("buckets_built")
-
         job = Job(
             name=f"bfhm-index-{signature}",
             input_source=TableInput.of(binding.table, {binding.family}),
-            map_fn=map_fn,
-            reduce_fn=reduce_fn,
+            map_fn=fn_ref(
+                "bfhm.build_map",
+                {
+                    "family": binding.family,
+                    "join_column": binding.join_column,
+                    "score_column": binding.score_column,
+                    "num_buckets": num_buckets,
+                },
+            ),
+            reduce_fn=fn_ref(
+                "bfhm.build_reduce",
+                {"signature": signature, "m_bits": m_bits},
+            ),
             num_reducers=max(1, len(platform.ctx.cluster.workers)),
             # bucket-number keys keep one bucket per reduce group
             partition_fn=lambda key, n: key % n,

@@ -16,6 +16,7 @@ stays near Hive's (§4.1.2).
 
 from __future__ import annotations
 
+from repro.common.registry import fn_ref, proc_fn
 from repro.common.serialization import decode_float, decode_str
 from repro.common.types import JoinTuple
 from repro.core.base import IndexBuildReport, RankJoinAlgorithm, _ExecutionDetails
@@ -30,6 +31,20 @@ from repro.query.spec import RankJoinQuery
 from repro.relational.binding import RelationBinding, load_relation
 from repro.store.cell import RowResult
 from repro.store.client import Put
+
+
+@proc_fn("ijlmr.build_map")
+def _build_map(payload: dict, row_key: str, row: RowResult, task: TaskContext) -> None:
+    """Invert one base-relation row on its join value (Algorithm 1 mapper)."""
+    join_raw = row.value(payload["family"], payload["join_column"])
+    score_raw = row.value(payload["family"], payload["score_column"])
+    if join_raw is None or score_raw is None:
+        task.bump("skipped_rows")
+        return
+    put = Put(decode_str(join_raw))
+    put.add(payload["signature"], row_key, score_raw)
+    task.emit(put.row, put)
+    task.bump("indexed_rows")
 
 
 class IJLMRRankJoin(RankJoinAlgorithm):
@@ -54,21 +69,21 @@ class IJLMRRankJoin(RankJoinAlgorithm):
         splits = sample_split_keys(sample, len(platform.ctx.cluster.workers))
         ensure_index_table(platform, IJLMR_TABLE, signature, splits)
 
-        def map_fn(row_key: str, row: RowResult, task: TaskContext) -> None:
-            join_raw = row.value(binding.family, binding.join_column)
-            score_raw = row.value(binding.family, binding.score_column)
-            if join_raw is None or score_raw is None:
-                task.bump("skipped_rows")
-                return
-            put = Put(decode_str(join_raw))
-            put.add(signature, row_key, score_raw)
-            task.emit(put.row, put)
-            task.bump("indexed_rows")
-
+        # the query job (Algorithm 2) stays closure-based — its scoring
+        # function isn't picklable — but the build mapper is registered,
+        # so index construction is process-capable
         job = Job(
             name=f"ijlmr-index-{signature}",
             input_source=TableInput.of(binding.table, {binding.family}),
-            map_fn=map_fn,
+            map_fn=fn_ref(
+                "ijlmr.build_map",
+                {
+                    "family": binding.family,
+                    "join_column": binding.join_column,
+                    "score_column": binding.score_column,
+                    "signature": signature,
+                },
+            ),
             output=TableOutput(IJLMR_TABLE),
         )
 

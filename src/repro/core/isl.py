@@ -31,6 +31,7 @@ from repro.core.indexes import (
     family_built,
     sample_split_keys,
 )
+from repro.common.registry import fn_ref, proc_fn
 from repro.mapreduce.job import Job, TableInput, TableOutput, TaskContext
 from repro.platform import Platform
 from repro.query.spec import RankJoinQuery
@@ -42,6 +43,20 @@ from repro.store.client import Put, Scan
 #: paper used 1%/0.1% on EC2 and 1%/0.2% on LC)
 DEFAULT_BATCH_FRACTION = 0.01
 MIN_BATCH_ROWS = 8
+
+
+@proc_fn("isl.build_map")
+def _build_map(payload: dict, row_key: str, row: RowResult, task: TaskContext) -> None:
+    """Invert one base-relation row on its score (Algorithm 3 mapper)."""
+    join_raw = row.value(payload["family"], payload["join_column"])
+    score_raw = row.value(payload["family"], payload["score_column"])
+    if join_raw is None or score_raw is None:
+        task.bump("skipped_rows")
+        return
+    put = Put(encode_score_key(decode_float(score_raw)))
+    put.add(payload["signature"], row_key, join_raw)
+    task.emit(put.row, put)
+    task.bump("indexed_rows")
 
 
 class _SideCursor:
@@ -141,21 +156,18 @@ class ISLRankJoin(RankJoinAlgorithm):
         splits = sample_split_keys(sample, len(platform.ctx.cluster.workers))
         ensure_index_table(platform, ISL_TABLE, signature, splits)
 
-        def map_fn(row_key: str, row: RowResult, task: TaskContext) -> None:
-            join_raw = row.value(binding.family, binding.join_column)
-            score_raw = row.value(binding.family, binding.score_column)
-            if join_raw is None or score_raw is None:
-                task.bump("skipped_rows")
-                return
-            put = Put(encode_score_key(decode_float(score_raw)))
-            put.add(signature, row_key, join_raw)
-            task.emit(put.row, put)
-            task.bump("indexed_rows")
-
         job = Job(
             name=f"isl-index-{signature}",
             input_source=TableInput.of(binding.table, {binding.family}),
-            map_fn=map_fn,
+            map_fn=fn_ref(
+                "isl.build_map",
+                {
+                    "family": binding.family,
+                    "join_column": binding.join_column,
+                    "score_column": binding.score_column,
+                    "signature": signature,
+                },
+            ),
             output=TableOutput(ISL_TABLE),
         )
 

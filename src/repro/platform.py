@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cluster.costmodel import CostModel, EC2_PROFILE
 from repro.cluster.simulation import SimContext
+from repro.cluster.topology import RegionBalancer
 from repro.mapreduce.hdfs import SimHDFS
 from repro.mapreduce.runtime import JobRunner
 from repro.store.client import Store
@@ -24,12 +25,36 @@ class Platform:
     and pay max-over-server-queues simulated time instead of the serial
     sum.  The default single server preserves the seed cost model
     bit-for-bit.
+
+    ``parallelism`` picks the *wall-clock* execution backend for fan-out
+    sections: ``"thread"`` (default) runs them on the shared thread pool,
+    ``"process"`` runs registered picklable tasks — index-build map/reduce
+    waves, process-capable scatter rounds — in spawn-based worker
+    processes (:mod:`repro.cluster.procpool`) for real CPU parallelism.
+    Simulated metrics are bit-identical under every setting; only real
+    elapsed time changes.  ``process_workers`` pins the process-wide pool
+    size (None keeps the current/default size); ``balancer`` overrides
+    the worker->region-server assignment strategy.
     """
 
     def __init__(
-        self, cost_model: CostModel = EC2_PROFILE, num_servers: int = 1
+        self,
+        cost_model: CostModel = EC2_PROFILE,
+        num_servers: int = 1,
+        balancer: "RegionBalancer | None" = None,
+        parallelism: str = "thread",
+        process_workers: "int | None" = None,
     ) -> None:
-        self.ctx = SimContext.with_profile(cost_model, num_servers=num_servers)
+        if process_workers is not None:
+            from repro.cluster.procpool import shared_process_pool
+
+            shared_process_pool().configure(process_workers)
+        self.ctx = SimContext.with_profile(
+            cost_model,
+            num_servers=num_servers,
+            balancer=balancer,
+            parallelism=parallelism,
+        )
         self.store = Store(self.ctx)
         self.hdfs = SimHDFS(self.ctx)
         self.runner = JobRunner(self.ctx, self.store, self.hdfs)

@@ -47,6 +47,16 @@ class ThreadLocalMetricsRouter:
         # counters, ...) resolve against the thread's active collector
         return getattr(self.active, name)
 
+    def __reduce__(self):
+        # a router holds a threading.local — meaningless in another
+        # process, and silently pickling it would smuggle a dead collector
+        # across the boundary.  Metric deltas cross process boundaries as
+        # immutable MetricsSnapshot values, never as live collectors.
+        raise TypeError(
+            "ThreadLocalMetricsRouter is process-local; ship "
+            "MetricsSnapshot deltas across process boundaries instead"
+        )
+
     @contextmanager
     def scoped(self, collector: "MetricsCollector | None" = None):
         """Route this thread's charges to ``collector`` (default: a fresh

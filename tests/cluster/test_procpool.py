@@ -1,0 +1,255 @@
+"""Process-pool backend: registry contract, wire codec, pool lifecycle.
+
+The properties pinned here (module docstrings of ``repro.common.registry``,
+``repro.cluster.wire``, ``repro.cluster.procpool``): only registered
+functions cross the process boundary; row blocks round-trip cells
+byte-for-byte; pool results come back in ref order with per-task metric
+snapshots; and live collectors/routers can never be pickled across.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+from repro.cluster.procpool import (
+    MAX_PROCESS_WORKERS,
+    WORKERS_ENV,
+    ProcessScatterPool,
+    default_worker_count,
+    shared_process_pool,
+    worker_metrics,
+)
+from repro.cluster.wire import decode_rows, encode_rows
+from repro.common.registry import FnRef, fn_ref, lookup, proc_fn, resolve
+from repro.serving.metrics import ThreadLocalMetricsRouter
+from repro.store.cell import Cell, RowResult
+
+
+@proc_fn("test.echo")
+def _echo(payload):
+    return payload
+
+
+@proc_fn("test.charge")
+def _charge(payload):
+    metrics = worker_metrics()
+    metrics.advance_time(payload["time_s"])
+    metrics.add_kv_reads(payload["kv"])
+    return payload["kv"]
+
+
+@proc_fn("test.boom")
+def _boom(payload):
+    raise RuntimeError(payload)
+
+
+class TestRegistry:
+    def test_fn_ref_resolves_registered_name(self):
+        ref = fn_ref("test.echo", 7)
+        assert isinstance(ref, FnRef)
+        assert lookup(ref) is _echo
+        assert resolve(ref)() == 7
+
+    def test_unknown_name_rejected_on_parent_side(self):
+        with pytest.raises(KeyError):
+            fn_ref("test.never_registered")
+
+    def test_reregistration_same_function_is_idempotent(self):
+        proc_fn("test.echo")(_echo)
+        assert lookup(fn_ref("test.echo")) is _echo
+
+    def test_name_conflict_rejected(self):
+        with pytest.raises(ValueError):
+
+            @proc_fn("test.echo")
+            def _other(payload):  # pragma: no cover - must not register
+                return payload
+
+    def test_refs_are_picklable(self):
+        ref = fn_ref("test.echo", {"rows": [1, 2]})
+        assert pickle.loads(pickle.dumps(ref)) == ref
+
+    def test_resolve_binds_payload_as_first_argument(self):
+        @proc_fn("test.add")
+        def _add(payload, increment):
+            return payload + increment
+
+        assert resolve(fn_ref("test.add", 40))(2) == 42
+
+
+class TestWireCodec:
+    def _rows(self):
+        row_a = RowResult("ra")
+        row_a.cells.append(Cell("ra", "d", "q1", b"\x00\xffblob", 7))
+        row_a.cells.append(Cell("ra", "d", "q2", b"", 8))
+        row_b = RowResult("rb")
+        row_b.cells.append(Cell("rb", "e", "q", b"v", 9, True))
+        return [row_a, row_b]
+
+    def test_round_trip_preserves_every_cell_field(self):
+        decoded = decode_rows(encode_rows(self._rows()))
+        assert [tag for tag, _ in decoded] == [None, None]
+        cells = [
+            (c.row, c.family, c.qualifier, c.value, c.timestamp, c.is_delete)
+            for _, row in decoded
+            for c in row.cells
+        ]
+        assert cells == [
+            ("ra", "d", "q1", b"\x00\xffblob", 7, False),
+            ("ra", "d", "q2", b"", 8, False),
+            ("rb", "e", "q", b"v", 9, True),
+        ]
+
+    def test_round_trip_preserves_tags(self):
+        decoded = decode_rows(encode_rows(self._rows(), ["left", "right"]))
+        assert [tag for tag, _ in decoded] == ["left", "right"]
+
+    def test_encoding_is_deterministic(self):
+        assert encode_rows(self._rows()) == encode_rows(self._rows())
+
+    def test_tag_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_rows(self._rows(), ["only-one"])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_rows(b"XX1" + b"\x00" * 8)
+
+    def test_truncated_block_rejected(self):
+        block = encode_rows(self._rows())
+        with pytest.raises(ValueError):
+            decode_rows(block[: len(block) // 2])
+
+
+class TestWorkerCount:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_worker_count() == 3
+
+    def test_default_is_capped(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert 1 <= default_worker_count() <= MAX_PROCESS_WORKERS
+
+
+class TestProcessScatterPool:
+    @pytest.fixture()
+    def pool(self):
+        pool = ProcessScatterPool(max_workers=2)
+        yield pool
+        pool.shutdown()
+
+    def test_results_in_ref_order_with_snapshots(self, pool):
+        refs = [fn_ref("test.echo", i) for i in range(5)]
+        outcomes = pool.run(refs)
+        assert [result for result, _ in outcomes] == [0, 1, 2, 3, 4]
+        for _, snapshot in outcomes:
+            assert snapshot.sim_time_s == 0.0
+
+    def test_worker_charges_ship_back_as_snapshots(self, pool):
+        outcomes = pool.run(
+            [fn_ref("test.charge", {"time_s": 1.5, "kv": 10 * (i + 1)}) for i in range(2)]
+        )
+        assert [result for result, _ in outcomes] == [10, 20]
+        assert [snap.sim_time_s for _, snap in outcomes] == [1.5, 1.5]
+        assert [snap.kv_reads for _, snap in outcomes] == [10, 20]
+
+    def test_empty_batch_never_creates_workers(self):
+        pool = ProcessScatterPool(max_workers=2)
+        assert pool.run([]) == []
+        assert pool._executor is None
+
+    def test_task_exception_propagates(self, pool):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            pool.run([fn_ref("test.boom", "kaboom")])
+
+    def test_configure_same_size_keeps_live_executor(self, pool):
+        pool.run([fn_ref("test.echo", 1)])
+        executor = pool._executor
+        pool.configure(2)
+        assert pool._executor is executor
+
+    def test_configure_new_size_tears_down_and_recreates(self, pool):
+        pool.run([fn_ref("test.echo", 1)])
+        old = pool._executor
+        pool.configure(3)
+        assert pool._executor is None
+        assert pool.max_workers == 3
+        outcomes = pool.run([fn_ref("test.echo", 2)])
+        assert outcomes[0][0] == 2
+        assert pool._executor is not old
+
+    def test_shared_pool_is_process_wide(self):
+        assert shared_process_pool() is shared_process_pool()
+
+
+class TestProcessBoundaryGuards:
+    def test_router_refuses_to_pickle(self):
+        router = ThreadLocalMetricsRouter(MetricsCollector())
+        with pytest.raises(TypeError, match="MetricsSnapshot"):
+            pickle.dumps(router)
+
+    def test_worker_metrics_outside_worker_is_throwaway(self):
+        first = worker_metrics()
+        first.advance_time(5.0)
+        assert worker_metrics().sim_time_s == 0.0
+
+
+class TestProcessScatterRounds:
+    """scatter_gather's process branch: same fold, same prices as threads."""
+
+    def _platform(self, parallelism):
+        from repro.cluster.costmodel import EC2_PROFILE
+        from repro.platform import Platform
+
+        return Platform(EC2_PROFILE, num_servers=4, parallelism=parallelism)
+
+    def _tasks(self, ctx):
+        from repro.cluster.executor import ScatterTask
+
+        def make(server_id, time_s):
+            payload = {"time_s": time_s, "kv": 5}
+
+            def run():
+                # the thread path charges the ambient (scoped) context,
+                # exactly like a store-touching task; the proc form names
+                # the same work against the worker-ambient collector
+                ctx.metrics.advance_time(time_s)
+                ctx.metrics.add_kv_reads(5)
+                return 5
+
+            return ScatterTask(server_id, run, proc=fn_ref("test.charge", payload))
+
+        return [make(0, 0.5), make(1, 0.25), make(2, 0.25), make(0, 0.125)]
+
+    def test_process_round_prices_like_thread_round(self):
+        from repro.cluster.executor import scatter_gather
+
+        results = {}
+        snaps = {}
+        for parallelism in ("thread", "process"):
+            platform = self._platform(parallelism)
+            results[parallelism] = scatter_gather(
+                platform.ctx, self._tasks(platform.ctx), label="test"
+            )
+            snaps[parallelism] = platform.metrics.snapshot()
+        assert results["thread"] == results["process"] == [5, 5, 5, 5]
+        assert snaps["thread"] == snaps["process"]
+        # 3 distinct servers: max queue 0.625 + 2 dispatch overheads
+        model = self._platform("thread").cost_model
+        assert snaps["process"].sim_time_s == pytest.approx(
+            0.625 + 2 * model.fanout_dispatch_s
+        )
+        assert snaps["process"].kv_reads == 20
+
+    def test_round_missing_proc_falls_back_to_threads(self):
+        from repro.cluster.executor import ScatterTask, scatter_gather
+
+        platform = self._platform("process")
+        tasks = [
+            ScatterTask(0, lambda: "a", proc=fn_ref("test.echo", "a")),
+            ScatterTask(1, lambda: "b"),  # no picklable form offered
+        ]
+        assert scatter_gather(platform.ctx, tasks) == ["a", "b"]
+        assert platform.metrics.counters["fanout_rounds"] == 1.0

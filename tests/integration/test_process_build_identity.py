@@ -1,0 +1,102 @@
+"""Process-parallel builds are indistinguishable from serial builds.
+
+The tentpole guarantee of the process-pool backend: running index-build
+map/reduce waves in worker processes changes *wall-clock only*.  For every
+pool size and balancer, a process-mode build must produce
+
+* **byte-identical index contents** — every cell of every index family,
+  including Golomb blob bytes and parent-assigned timestamps, and
+* **bit-identical simulated metrics** — the fold-in-task-order discipline
+  makes charges a pure function of store state + task list, independent
+  of the execution backend.
+
+Queries after a process-mode build are asserted identical too (the ISL
+scatter path exercises the thread fallback inside a process-mode context:
+store-touching tasks offer no picklable form).
+"""
+
+import pytest
+
+from repro.bench.harness import build_setup
+from repro.cluster.costmodel import EC2_PROFILE
+from repro.cluster.topology import LocalityBalancer
+from repro.tpch.queries import q1
+
+INDEX_TABLES = ("bfhm_idx", "isl_idx", "ijlmr_idx")
+ALGORITHMS = ("bfhm", "isl", "ijlmr")
+
+
+def _built_setup(parallelism, workers=None, num_servers=1, balancer=None):
+    setup = build_setup(
+        EC2_PROFILE,
+        micro_scale=0.2,
+        seed=42,
+        num_servers=num_servers,
+        balancer=balancer,
+        parallelism=parallelism,
+        process_workers=workers,
+    )
+    for name in ALGORITHMS:
+        setup.engine.algorithm(name).prepare(q1(1))
+    return setup
+
+
+def _index_cells(setup):
+    cells = {}
+    for table in INDEX_TABLES:
+        backing = setup.platform.store.backing(table)
+        cells[table] = [
+            (cell.row, cell.family, cell.qualifier, cell.value, cell.timestamp)
+            for row in backing.all_rows()
+            for cell in row
+        ]
+    return cells
+
+
+@pytest.fixture(scope="module")
+def serial_baselines():
+    """Thread-backend builds (the seed behaviour), one per topology."""
+    return {
+        (1, "rr"): _built_setup("thread"),
+        (4, "rr"): _built_setup("thread", num_servers=4),
+        (4, "loc"): _built_setup(
+            "thread", num_servers=4, balancer=LocalityBalancer()
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "workers,num_servers,layout",
+    [
+        (1, 1, "rr"),
+        (2, 1, "rr"),
+        (4, 1, "rr"),
+        (2, 4, "rr"),
+        (4, 4, "rr"),
+        (2, 4, "loc"),
+        (4, 4, "loc"),
+    ],
+)
+def test_process_build_matches_serial(serial_baselines, workers, num_servers, layout):
+    baseline = serial_baselines[(num_servers, layout)]
+    balancer = LocalityBalancer() if layout == "loc" else None
+    built = _built_setup(
+        "process", workers=workers, num_servers=num_servers, balancer=balancer
+    )
+    # bit-identical simulated metrics (time, bytes, reads, every counter)
+    assert built.platform.metrics.snapshot() == baseline.platform.metrics.snapshot()
+    # byte-identical index-family contents, timestamps included
+    assert _index_cells(built) == _index_cells(baseline)
+
+
+def test_queries_after_process_build_are_identical(serial_baselines):
+    """The full query grid prices identically on a process-mode platform
+    (scatter rounds without picklable forms fall back to threads)."""
+    baseline = serial_baselines[(4, "rr")]
+    built = _built_setup("process", workers=2, num_servers=4)
+    for algorithm in ALGORITHMS:
+        for k in (1, 10):
+            expected = baseline.engine.execute(q1(k), algorithm=algorithm)
+            actual = built.engine.execute(q1(k), algorithm=algorithm)
+            assert actual.metrics == expected.metrics, (algorithm, k)
+            assert actual.tuples == expected.tuples, (algorithm, k)

@@ -82,6 +82,14 @@ GUARDED_REGISTRY: "dict[str, dict[str, GuardDecl]]" = {
     # must never hand out a dead executor)
     "src/repro/cluster/executor.py:ScatterPool": {
         "_executor": GuardDecl("_lock"),
+        "_pid": GuardDecl("_lock"),
+    },
+    # the process-pool counterpart: executor handle, pinned size, and the
+    # creating PID (the fork-safety witness) all move together under _lock
+    "src/repro/cluster/procpool.py:ProcessScatterPool": {
+        "_executor": GuardDecl("_lock"),
+        "_max_workers": GuardDecl("_lock"),
+        "_pid": GuardDecl("_lock"),
     },
 }
 
